@@ -1,0 +1,31 @@
+"""Benchmark: WINDOW interval-length ablation.
+
+Quantifies the §5.2 trade-off: longer decision intervals improve packing
+but delay every decision (response time) and kill requests whose deadline
+passes while they wait in the batch.
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import ablation_window
+
+
+def test_ablation_window(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: ablation_window(
+            t_steps=(50.0, 200.0, 800.0, 3200.0), gap=0.5, n_requests=600, seeds=(0, 1)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "ablation_window", table, chart)
+
+    waits = table.column("mean_wait")
+    kills = table.column("deadline_kills")
+    # response time and deadline kills grow monotonically with t_step
+    assert all(a <= b + 1e-9 for a, b in zip(waits, waits[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(kills, kills[1:]))
+    # accept rate peaks at an intermediate window: the largest window is
+    # not the best once deadline kills dominate
+    accepts = table.column("accept_rate")
+    assert max(accepts[1:-1]) >= accepts[-1] - 0.01

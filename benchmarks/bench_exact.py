@@ -1,0 +1,76 @@
+"""Benchmark: exact solvers and heuristic optimality gaps (§3).
+
+Times the Theorem 1 pipeline (3-DM → reduction → exact MILP) and measures
+how far the rigid heuristics sit from the exact optimum on small
+instances.
+"""
+
+import numpy as np
+from conftest import save_artifacts
+
+from repro.core import verify_schedule
+from repro.exact import (
+    max_requests_rigid_bb,
+    max_requests_rigid_exact,
+    max_requests_unit_slotted_exact,
+    random_3dm,
+    reduce_3dm,
+    rigid_lp_bound,
+    solve_3dm,
+)
+from repro.metrics import Table
+from repro.schedulers import cumulated_slots, fifo_slots, minbw_slots
+from repro.workload import paper_rigid_workload
+
+
+def test_theorem1_pipeline(benchmark):
+    rng = np.random.default_rng(42)
+    instances = [random_3dm(3, num_extra=3, rng=rng, plant_matching=(k % 2 == 0)) for k in range(4)]
+
+    def pipeline():
+        agreements = 0
+        for inst in instances:
+            reduced = reduce_3dm(inst)
+            schedule = max_requests_unit_slotted_exact(reduced.problem)
+            has_matching = solve_3dm(inst) is not None
+            agreements += (schedule.num_accepted >= reduced.target) == has_matching
+        return agreements
+
+    agreements = benchmark(pipeline)
+    assert agreements == len(instances)
+
+
+def test_optimality_gap(benchmark, results_dir):
+    """Heuristic accept counts as a fraction of the exact optimum."""
+
+    def measure():
+        table = Table(
+            ["seed", "exact", "lp_bound", "cumulated", "minbw", "fifo"],
+            title="Optimality gap on small rigid instances (accepted requests)",
+        )
+        for seed in range(6):
+            prob = paper_rigid_workload(8.0, 16, seed=seed)
+            exact = max_requests_rigid_exact(prob)
+            verify_schedule(prob.platform, prob.requests, exact)
+            table.add_row(
+                seed,
+                exact.num_accepted,
+                round(rigid_lp_bound(prob), 2),
+                cumulated_slots().schedule(prob).num_accepted,
+                minbw_slots().schedule(prob).num_accepted,
+                fifo_slots().schedule(prob).num_accepted,
+            )
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_artifacts(results_dir, "optimality_gap", table)
+    for row in table.rows:
+        r = dict(zip(table.headers, row))
+        assert r["cumulated"] <= r["exact"] <= r["lp_bound"] + 1e-6
+        assert r["minbw"] <= r["exact"]
+
+
+def test_branch_bound_speed(benchmark):
+    prob = paper_rigid_workload(8.0, 14, seed=5)
+    result = benchmark(lambda: max_requests_rigid_bb(prob))
+    assert result.num_accepted == max_requests_rigid_exact(prob).num_accepted

@@ -1,0 +1,75 @@
+"""Benchmarks: extended studies (optimality gap, RTT unfairness, diurnal
+load, local search) and the capacity planner."""
+
+import numpy as np
+from conftest import save_artifacts
+
+from repro.core import Platform
+from repro.experiments import (
+    capacity_for_accept_rate,
+    diurnal_load,
+    localsearch_study,
+    optimality_gap_flexible,
+    rtt_unfairness_study,
+)
+from repro.schedulers import GreedyFlexible, MinRatePolicy
+from repro.workload import FlexibleWorkload, PoissonArrivals
+
+
+def test_optimality_gap_flexible(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: optimality_gap_flexible(gaps=(0.5, 2.0, 10.0), n_requests=50, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "optgap_flexible", table, chart)
+    for row in table.rows:
+        r = dict(zip(table.headers, row))
+        # book-ahead closes most of the gap the LP bound leaves open
+        assert r["bookahead"] >= r["greedy"] - 1e-9
+        assert r["bookahead"] >= 0.5
+
+
+def test_rtt_unfairness(benchmark, results_dir):
+    table, chart = benchmark(lambda: rtt_unfairness_study())
+    save_artifacts(results_dir, "rtt_unfairness", table, chart)
+    reno = table.column("reno_share")
+    assert reno[-1] < 0.05  # 300 ms flow starved under Reno
+
+
+def test_diurnal(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: diurnal_load(amplitudes=(0.0, 0.9), n_requests=400, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "diurnal", table, chart)
+
+
+def test_localsearch(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: localsearch_study(loads=(8.0,), n_requests=80, iterations=80, seeds=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "localsearch", table, chart)
+    row = dict(zip(table.headers, table.rows[0]))
+    assert row["localsearch"] >= max(row["fcfs"], row["minbw"]) - 0.02
+
+
+def test_capacity_planning(benchmark):
+    base = Platform.paper_platform()
+
+    def make_problem(platform, seed):
+        return FlexibleWorkload(platform, PoissonArrivals(2.0)).generate(
+            100, np.random.default_rng(seed)
+        )
+
+    result = benchmark.pedantic(
+        lambda: capacity_for_accept_rate(
+            base, make_problem, GreedyFlexible(policy=MinRatePolicy()), target=0.8, seeds=(0,), max_iters=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.accept_rate >= 0.8

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (rigid heuristics vs load).
+
+Checks the published orderings on every run: FIFO worst accept rate,
+MINVOL worst utilisation, CUMULATED ≈ MINBW.
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import fig4
+
+LOADS = (1.0, 4.0, 16.0)
+N_REQUESTS = 400
+SEEDS = (0, 1)
+
+
+def test_fig4(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: fig4(loads=LOADS, n_requests=N_REQUESTS, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "fig4", table, chart)
+
+    heavy = dict(zip(table.headers, table.rows[-1]))
+    # FIFO is the worst heuristic on accept rate under heavy load
+    assert heavy["fifo:accept"] < heavy["cumulated:accept"]
+    assert heavy["fifo:accept"] < heavy["minbw:accept"]
+    assert heavy["fifo:accept"] < heavy["minvol:accept"]
+    # MINVOL pays in utilisation
+    assert heavy["minvol:util"] < heavy["minbw:util"]
+    assert heavy["minvol:util"] < heavy["cumulated:util"]
+    # CUMULATED and MINBW are close (the paper's headline result)
+    assert abs(heavy["cumulated:accept"] - heavy["minbw:accept"]) < 0.10

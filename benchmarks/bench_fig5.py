@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 5 (FCFS vs interval-based, heavy load, f=1).
+
+Checks: WINDOW beats GREEDY in a very loaded network; longer windows help;
+the strategies converge as the network lightens.
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import fig5
+
+GAPS = (0.1, 1.0, 5.0)
+T_STEPS = (100.0, 400.0)
+N_REQUESTS = 600
+SEEDS = (0, 1)
+
+
+def test_fig5(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: fig5(gaps=GAPS, t_steps=T_STEPS, n_requests=N_REQUESTS, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "fig5", table, chart)
+
+    heaviest = dict(zip(table.headers, table.rows[0]))
+    lightest = dict(zip(table.headers, table.rows[-1]))
+    greedy = "greedy[f=1]"
+    w100 = "window[100s,f=1]"
+    w400 = "window[400s,f=1]"
+
+    # interval-based improves a lot on FCFS under heavy load
+    assert heaviest[w400] > heaviest[greedy]
+    # the longer the interval, the better the accept rate (heavy load)
+    assert heaviest[w400] >= heaviest[w100] - 0.01
+    # similar performance when the network is not heavily loaded
+    assert abs(lightest[w400] - lightest[greedy]) < 0.08

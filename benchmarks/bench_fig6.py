@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 6 (FCFS under different f policies).
+
+Checks: when underloaded, smaller granted bandwidth accepts more requests
+(MIN BW best, accept rate monotone decreasing in f); under heavy load the
+policy curves collapse together (the MIN BW advantage shrinks away in
+absolute terms).
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import fig6
+
+POLICIES = ("min-bw", 0.5, 1.0)
+N_REQUESTS = 600
+SEEDS = (0, 1)
+
+
+def test_fig6(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: fig6(
+            gaps_heavy=(0.2, 1.0),
+            gaps_light=(5.0, 20.0),
+            policies=POLICIES,
+            n_requests=N_REQUESTS,
+            seeds=SEEDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "fig6", table, chart)
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    lightest = rows[-1]
+    heaviest = rows[0]
+    # light load: MIN BW > f=0.5 > f=1
+    assert lightest["min-bw"] > lightest["0.5"] > lightest["1.0"]
+    # heavy load: the absolute spread between policies collapses
+    light_spread = lightest["min-bw"] - lightest["1.0"]
+    heavy_spread = heaviest["min-bw"] - heaviest["1.0"]
+    assert heavy_spread < light_spread

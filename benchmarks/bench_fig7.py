@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 7 (WINDOW(400) under different f policies).
+
+Checks the same policy conclusions as Figure 6 hold for the interval-based
+heuristic, with the paper's note that heavy-load numbers are slightly
+better than FCFS's.
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import fig6, fig7
+
+POLICIES = ("min-bw", 0.5, 1.0)
+N_REQUESTS = 600
+SEEDS = (0, 1)
+
+
+def test_fig7(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: fig7(
+            gaps_heavy=(0.2, 1.0),
+            gaps_light=(5.0, 20.0),
+            policies=POLICIES,
+            n_requests=N_REQUESTS,
+            seeds=SEEDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "fig7", table, chart)
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    lightest = rows[-1]
+    # same conclusions as Figure 6 under light load
+    assert lightest["min-bw"] > lightest["0.5"] > lightest["1.0"]
+
+
+def test_fig7_beats_fig6_under_heavy_load(benchmark):
+    """§5.3: the interval-based variant obtains slightly better results for
+    small values of the average arrival time."""
+    kwargs = dict(
+        gaps_heavy=(0.2,),
+        gaps_light=(),
+        policies=("min-bw",),
+        n_requests=N_REQUESTS,
+        seeds=SEEDS,
+    )
+
+    def run():
+        greedy_table, _ = fig6(**kwargs)
+        window_table, _ = fig7(**kwargs)
+        return (
+            dict(zip(greedy_table.headers, greedy_table.rows[0])),
+            dict(zip(window_table.headers, window_table.rows[0])),
+        )
+
+    greedy, window = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert window["min-bw"] >= greedy["min-bw"] - 0.02

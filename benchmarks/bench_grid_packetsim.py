@@ -1,0 +1,54 @@
+"""Benchmarks: the CPU co-allocation layer and the enforcement validation."""
+
+import numpy as np
+from conftest import save_artifacts
+
+from repro.core import Platform
+from repro.experiments import coallocation
+from repro.packetsim import AimdFlow, BottleneckLink, LinkSimulation, PacedFlow
+
+
+def test_coallocation(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: coallocation(fs=("min-bw", 0.5, 1.0), n_jobs=250, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "coallocation", table, chart)
+
+    rows = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+    # §2.3's trade: larger f lowers CPU·s/job and completion but admits less
+    assert rows["1.0"]["cpu_s_per_job"] < rows["min-bw"]["cpu_s_per_job"]
+    assert rows["1.0"]["mean_completion_s"] < rows["min-bw"]["mean_completion_s"]
+    assert rows["1.0"]["completed_rate"] < rows["min-bw"]["completed_rate"]
+
+
+def test_enforcement_validation(benchmark, results_dir):
+    """§5.4: enforcement makes reserved rates exact under cross-traffic."""
+
+    def run():
+        link = BottleneckLink(capacity=125.0, buffer=12.5)
+        flows = lambda: [PacedFlow(40.0), PacedFlow(30.0), AimdFlow(rtt=0.02, cwnd=4000.0)]
+        protected = LinkSimulation(link, flows(), protect_paced=True).run(
+            120.0, np.random.default_rng(0)
+        )
+        exposed = LinkSimulation(link, flows(), protect_paced=False).run(
+            120.0, np.random.default_rng(0)
+        )
+        return protected, exposed
+
+    protected, exposed = benchmark.pedantic(run, rounds=1, iterations=1)
+    # protected reservations: exact rate, zero variance
+    assert protected.goodput_std()[0] == 0.0
+    assert protected.mean_goodput()[0] == 40.0
+    # without enforcement the reservation degrades
+    assert exposed.mean_goodput()[0] <= 40.0
+    assert exposed.goodput_std()[0] >= 0.0
+
+
+def test_link_simulation_speed(benchmark):
+    link = BottleneckLink(capacity=125.0, buffer=12.5)
+    flows = [AimdFlow(rtt=0.05, cwnd=2000.0) for _ in range(8)] + [PacedFlow(10.0)]
+    sim = LinkSimulation(link, flows, protect_paced=True, dt=0.02)
+    result = benchmark(lambda: sim.run(30.0, np.random.default_rng(1)))
+    assert result.goodput.shape[1] == 9

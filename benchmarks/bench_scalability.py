@@ -1,0 +1,58 @@
+"""Scalability benchmarks: scheduler runtime vs workload size.
+
+The online heuristics must scale to long traces; these parametrised
+benchmarks record throughput at three workload sizes so regressions in
+the hot paths (the vectorised WINDOW packing, the ledger queries of the
+book-ahead search) show up in benchmark history.
+"""
+
+import pytest
+
+from repro.schedulers import (
+    EarliestStartFlexible,
+    FractionOfMaxPolicy,
+    GreedyFlexible,
+    WindowFlexible,
+    cumulated_slots,
+)
+from repro.workload import paper_flexible_workload, paper_rigid_workload
+
+SIZES = [500, 2000, 8000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_greedy_scaling(benchmark, n):
+    problem = paper_flexible_workload(0.5, n, seed=1)
+    result = benchmark.pedantic(
+        lambda: GreedyFlexible().schedule(problem), rounds=3, iterations=1
+    )
+    assert result.num_decided == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_window_scaling(benchmark, n):
+    problem = paper_flexible_workload(0.5, n, seed=1)
+    result = benchmark.pedantic(
+        lambda: WindowFlexible(t_step=400.0, policy=FractionOfMaxPolicy(1.0)).schedule(problem),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_decided == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bookahead_scaling(benchmark, n):
+    problem = paper_flexible_workload(0.5, n, seed=1)
+    result = benchmark.pedantic(
+        lambda: EarliestStartFlexible().schedule(problem), rounds=1, iterations=1
+    )
+    assert result.num_decided == n
+
+
+@pytest.mark.parametrize("n", [500, 2000])
+def test_slots_scaling(benchmark, n):
+    problem = paper_rigid_workload(8.0, n, seed=1)
+    result = benchmark.pedantic(
+        lambda: cumulated_slots().schedule(problem), rounds=1, iterations=1
+    )
+    assert result.num_decided == n

@@ -1,0 +1,28 @@
+"""Benchmark: reservation vs max-min statistical sharing (§1/§5.3).
+
+The paper's motivation: in an overloaded network, statistical sharing lets
+transfers overshoot their windows or fail entirely, while admission control
+keeps every accepted transfer on time.  Checks that the fluid baseline
+degrades with load and wastes capacity in drop mode.
+"""
+
+from conftest import save_artifacts
+
+from repro.experiments import tcp_baseline
+
+
+def test_tcp_baseline(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: tcp_baseline(gaps=(0.5, 2.0, 10.0), n_requests=300, seeds=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "tcp", table, chart)
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    heavy, light = rows[0], rows[-1]
+    # sharing degrades as the network gets busier
+    assert heavy["fluid_met"] < light["fluid_met"]
+    # in drop mode, failed transfers wasted real capacity
+    assert heavy["fluid_wasted_tb"] > 0
+    assert heavy["fluid_dropped"] > light["fluid_dropped"]

@@ -1,0 +1,38 @@
+"""Benchmark: the §5.3 in-text claims and the tuning-factor study.
+
+The claims table must come out all-"yes"; the tuning study must show the
+accept-rate gain growing as f decreases (roughly linearly in 1 − f).
+"""
+
+import numpy as np
+from conftest import save_artifacts
+
+from repro.experiments import section53_claims, tuning_factor
+
+
+def test_section53_claims(benchmark, results_dir):
+    table, _ = benchmark.pedantic(
+        lambda: section53_claims(n_requests=600, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "claims", table)
+    failures = [row[0] for row in table.rows if row[-1] != "yes"]
+    assert not failures, f"claims failed: {failures}"
+
+
+def test_tuning_factor(benchmark, results_dir):
+    table, chart = benchmark.pedantic(
+        lambda: tuning_factor(fs=(0.2, 0.5, 0.8, 1.0), gap=20.0, n_requests=600, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifacts(results_dir, "tuning", table, chart)
+
+    fs = np.asarray(table.column("f"), dtype=float)
+    gains = np.asarray(table.column("greedy_gain"), dtype=float)
+    # gain decreases with f (more bandwidth granted -> fewer accepts)
+    assert np.all(np.diff(gains) <= 1e-9)
+    # and correlates strongly (negatively) with f, i.e. ~linear in (1 - f)
+    corr = np.corrcoef(fs, gains)[0, 1]
+    assert corr < -0.9

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CPU + network co-allocation: the tuning factor's real payoff (§2.3).
+
+A grid job reserves processors, stages data in, computes, and releases
+everything.  The CPUs are held from submission — so every extra second the
+transfer takes is processor time burned idle.  This example sweeps the
+bandwidth policy and shows the trade the tuning factor navigates:
+
+- MIN BW accepts the most jobs but wastes the most CPU·seconds per job;
+- f = 1 stages data fastest (cheapest jobs) but admits the fewest.
+
+Run:  python examples/coallocation_study.py
+"""
+
+import numpy as np
+
+from repro.core import Platform
+from repro.grid import JobSimulator, random_jobs
+from repro.metrics import Table
+from repro.schedulers import FractionOfMaxPolicy, GreedyFlexible, MinRatePolicy
+
+platform = Platform.paper_platform()
+jobs = random_jobs(
+    platform,
+    400,
+    np.random.default_rng(2006),
+    mean_interarrival=5.0,
+    cpu_time_range=(600.0, 7200.0),
+    max_cpus=64,
+)
+sim = JobSimulator(platform, jobs)
+
+table = Table(
+    ["policy", "jobs completed", "CPU·h per job", "mean completion", "CPU·h total"],
+    title="Co-allocating 400 grid jobs (CPUs held from submission to finish)",
+)
+for name, policy in [
+    ("MIN BW", MinRatePolicy()),
+    ("f = 0.5", FractionOfMaxPolicy(0.5)),
+    ("f = 0.8", FractionOfMaxPolicy(0.8)),
+    ("f = 1.0", FractionOfMaxPolicy(1.0)),
+]:
+    result = sim.run(GreedyFlexible(policy=policy))
+    table.add_row(
+        name,
+        f"{result.completed_rate:.1%}",
+        f"{result.cpu_seconds_per_job() / 3600:.1f}",
+        f"{result.mean_completion_time() / 3600:.2f} h",
+        f"{result.total_cpu_seconds / 3600:.0f}",
+    )
+print(table.to_text())
+print()
+print("Reading: a site whose processors are scarce should push f up (jobs")
+print("finish ~2x cheaper in CPU·h); a site whose network is the bottleneck")
+print("should keep MIN BW (twice the jobs admitted). §2.3's trade, measured.")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why the session-level abstraction is sound (§5.4).
+
+Every scheduler in this library assumes a granted rate is actually
+delivered.  The paper backs that with hardware enforcement on Grid'5000:
+token-bucket pacing plus access-point dropping keeps reserved flows exact
+and protects them from misbehaving TCP cross-traffic.  This example
+recreates the argument on a simulated 1 Gbit/s bottleneck:
+
+1. two paced (reserved) transfers + aggressive AIMD cross-traffic, with
+   and without enforcement;
+2. pure AIMD sharing, showing RTT unfairness and sawtooth variance —
+   what bulk transfers get *without* the control plane.
+
+Run:  python examples/enforcement_validation.py
+"""
+
+import numpy as np
+
+from repro.metrics import Table
+from repro.packetsim import AimdFlow, BottleneckLink, LinkSimulation, PacedFlow
+
+link = BottleneckLink(capacity=125.0, buffer=12.5)  # 1 Gbit/s, 100 ms buffer
+rng = lambda: np.random.default_rng(7)
+
+
+def mixed_flows():
+    return [
+        PacedFlow(40.0),                    # reserved transfer A
+        PacedFlow(30.0),                    # reserved transfer B
+        AimdFlow(rtt=0.02, cwnd=4000.0),    # aggressive short-RTT TCP
+        AimdFlow(rtt=0.20, cwnd=500.0),     # transcontinental TCP
+    ]
+
+
+table = Table(
+    ["flow", "enforced: mean (std)", "best effort: mean (std)"],
+    title="Reserved transfers vs TCP cross-traffic on one bottleneck (MB/s)",
+)
+enforced = LinkSimulation(link, mixed_flows(), protect_paced=True).run(300.0, rng())
+best_effort = LinkSimulation(link, mixed_flows(), protect_paced=False).run(300.0, rng())
+for k, label in enumerate(enforced.labels):
+    table.add_row(
+        label,
+        f"{enforced.mean_goodput()[k]:6.1f} ({enforced.goodput_std()[k]:5.2f})",
+        f"{best_effort.mean_goodput()[k]:6.1f} ({best_effort.goodput_std()[k]:5.2f})",
+    )
+print(table.to_text())
+print()
+print("With enforcement the reserved flows hold exactly 40 and 30 MB/s with")
+print("zero variance — the session-level model's assumption.  Without it,")
+print("reservations dip whenever the queue overflows, and prediction is lost.")
+
+# ---------------------------------------------------------------------------
+# What pure TCP sharing gives the same transfers.
+# ---------------------------------------------------------------------------
+aimd_only = LinkSimulation(
+    link,
+    [AimdFlow(rtt=0.01, cwnd=500.0), AimdFlow(rtt=0.05, cwnd=500.0), AimdFlow(rtt=0.2, cwnd=500.0)],
+    protect_paced=False,
+).run(300.0, rng())
+print("\npure AIMD sharing of the same link (no reservations):")
+for label, mean, std in zip(aimd_only.labels, aimd_only.mean_goodput(), aimd_only.goodput_std()):
+    print(f"  {label:16s} {mean:6.1f} MB/s  (std {std:5.2f})")
+print("short-RTT flows crush long-RTT ones and every share oscillates —")
+print("the unpredictability that motivates admission control in the paper.")

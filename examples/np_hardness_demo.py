@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Theorem 1 end to end: 3-DM ⇔ bandwidth scheduling (§3).
+
+Builds random 3-Dimensional Matching instances, reduces each to a
+MAX-REQUESTS-DEC bandwidth-sharing instance (the NP-completeness
+construction), solves both sides exactly and checks the equivalence.
+For solvable instances it also materialises the proof's constructive
+schedule and verifies it against Eq. 1.
+
+Run:  python examples/np_hardness_demo.py
+"""
+
+import numpy as np
+
+from repro.core import verify_schedule
+from repro.exact import (
+    max_requests_unit_slotted_exact,
+    random_3dm,
+    reduce_3dm,
+    schedule_from_matching,
+    solve_3dm,
+)
+from repro.metrics import Table
+
+rng = np.random.default_rng(12)
+table = Table(
+    ["n", "|T|", "3-DM solvable", "K (target)", "exact accepts", "equivalent"],
+    title="Theorem 1: 3-DM has a perfect matching  <=>  K requests schedulable",
+)
+
+for trial in range(6):
+    n = 2 + trial % 2
+    inst = random_3dm(n, num_extra=3, rng=rng, plant_matching=(trial % 2 == 0))
+    matching = solve_3dm(inst)
+    reduced = reduce_3dm(inst)
+    exact = max_requests_unit_slotted_exact(reduced.problem)
+    equivalent = (matching is not None) == (exact.num_accepted >= reduced.target)
+    table.add_row(
+        n,
+        inst.num_triples,
+        "yes" if matching else "no",
+        reduced.target,
+        exact.num_accepted,
+        "OK" if equivalent else "BROKEN",
+    )
+
+    if matching is not None:
+        # the proof's constructive schedule: accept all K requests explicitly
+        schedule = schedule_from_matching(reduced, matching)
+        verify_schedule(reduced.problem.platform, reduced.problem.requests, schedule)
+        assert schedule.num_accepted == reduced.target
+
+print(table.to_text())
+print()
+print("Every row must be equivalent — this is the paper's NP-completeness")
+print("reduction running in both directions on concrete instances.")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Distributed admission over the overlay control plane (§5.4).
+
+The paper deploys its heuristics in the grid network middleware: the
+client's ingress access router decides, after an RSVP-like probe of the
+egress router, and a token bucket paces the granted flow (dropping
+non-conforming traffic so it cannot hurt others).  This example:
+
+1. runs the same workload through the centralized GREEDY heuristic and
+   through the simulated control plane at several signalling latencies,
+   showing the (small) acceptance cost of distributing the decision;
+2. paces one granted transfer through a token bucket and shows a
+   misbehaving sender being clamped to its reservation.
+
+Run:  python examples/online_admission_control.py
+"""
+
+import numpy as np
+
+from repro import GreedyFlexible, MinRatePolicy
+from repro.control import ControlPlane, TokenBucket, enforce_series
+from repro.core import verify_schedule
+from repro.metrics import Table
+from repro.workload import paper_flexible_workload
+
+problem = paper_flexible_workload(mean_interarrival=1.0, n_requests=500, seed=99)
+
+table = Table(
+    ["admission", "accept rate", "messages", "mean start delay (s)"],
+    title="Centralized vs distributed admission (same workload)",
+)
+
+greedy = GreedyFlexible(policy=MinRatePolicy()).schedule(problem)
+table.add_row("centralized greedy", f"{greedy.accept_rate:.1%}", 0, 0.0)
+
+for latency in (0.0, 1.0, 10.0, 60.0):
+    plane = ControlPlane(policy=MinRatePolicy(), latency=latency)
+    result = plane.schedule(problem)
+    verify_schedule(problem.platform, problem.requests, result)
+    delays = [
+        alloc.sigma - problem.requests.by_rid(rid).t_start
+        for rid, alloc in result.accepted.items()
+    ]
+    table.add_row(
+        f"control plane, {latency:g}s one-way",
+        f"{result.accept_rate:.1%}",
+        result.meta["messages"],
+        f"{np.mean(delays):.1f}" if delays else "-",
+    )
+
+print(table.to_text())
+
+# ---------------------------------------------------------------------------
+# Token-bucket enforcement of one granted reservation.
+# ---------------------------------------------------------------------------
+alloc = next(iter(greedy.accepted.values()))
+bucket = TokenBucket(rate=alloc.bw, burst=alloc.bw * 2.0)  # 2 s of burst credit
+
+rng = np.random.default_rng(1)
+times = np.sort(rng.uniform(alloc.sigma, alloc.sigma + 60.0, 600))
+# The sender misbehaves: it blasts at ~2x its granted rate.
+sizes = np.full(times.shape, alloc.bw * 2 * 60.0 / times.size)
+ok = enforce_series(bucket, times, sizes)
+
+offered = sizes.sum() / 60.0
+carried = sizes[ok].sum() / 60.0
+print(f"\ntoken-bucket enforcement of request {alloc.rid}:")
+print(f"  granted rate  {alloc.bw:8.1f} MB/s")
+print(f"  offered rate  {offered:8.1f} MB/s (misbehaving sender)")
+print(f"  carried rate  {carried:8.1f} MB/s -> clamped to the reservation;")
+print("  excess packets dropped at the access point, other flows unharmed.")

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: admission-control a bulk-transfer workload in ~20 lines.
+
+Builds the paper's platform (10 ingress + 10 egress points at 1 GB/s),
+draws a flexible workload (volumes 10 GB–1 TB, host rates 10 MB/s–1 GB/s,
+Poisson arrivals), schedules it with the interval-based WINDOW heuristic
+(Algorithm 3) and prints the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    FlexibleWorkload,
+    Platform,
+    PoissonArrivals,
+    WindowFlexible,
+    verify_schedule,
+)
+from repro.metrics import evaluate
+
+platform = Platform.paper_platform()
+workload = FlexibleWorkload(platform, arrivals=PoissonArrivals(mean=2.0))
+problem = workload.generate(500, np.random.default_rng(seed=0))
+
+scheduler = WindowFlexible(t_step=400.0)
+result = scheduler.schedule(problem)
+
+# Independent re-check of every constraint the paper imposes (Eq. 1).
+verify_schedule(platform, problem.requests, result)
+
+report = evaluate(problem, result)
+print(f"scheduler:       {result.scheduler}")
+print(f"requests:        {report.num_requests}")
+print(f"accept rate:     {report.accept_rate:.1%}")
+print(f"utilisation:     {report.utilization_time_averaged:.1%} (time-averaged, scaled ports)")
+print(f"mean wait:       {report.mean_wait:.0f} s (decisions batched per {scheduler.t_step:.0f} s interval)")
+print(f"guaranteed f=1:  {report.guaranteed[1.0]:.1%} of all requests got their full host rate")
+print("every accepted transfer finishes inside its requested window — verified.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Reservation vs TCP-style statistical sharing (the paper's motivation).
+
+The same overloaded workload is served two ways:
+
+1. **admission control** (WINDOW heuristic): a fraction of requests is
+   accepted, but every accepted transfer holds a bandwidth reservation and
+   finishes inside its window — predictable and reliable;
+2. **max-min fair sharing** (fluid model of ideal TCP): everyone is let
+   in, shares collapse, transfers overshoot their deadlines, and — once
+   the grid reclaims CPUs/disks at the deadline — fail after having burned
+   real capacity.
+
+Run:  python examples/reservation_vs_tcp.py
+"""
+
+from repro import WindowFlexible, FractionOfMaxPolicy, verify_schedule
+from repro.fairness import FluidSimulation
+from repro.metrics import Table
+from repro.workload import paper_flexible_workload
+
+table = Table(
+    [
+        "inter-arrival",
+        "reserved: accepted & on-time",
+        "shared: on-time",
+        "shared: failed @deadline",
+        "shared: wasted (TB)",
+    ],
+    title="Reservation vs statistical sharing on the same overloaded workload",
+)
+
+for gap in (0.5, 2.0, 10.0):
+    problem = paper_flexible_workload(mean_interarrival=gap, n_requests=400, seed=7)
+
+    reserved = WindowFlexible(t_step=400.0, policy=FractionOfMaxPolicy(1.0)).schedule(problem)
+    verify_schedule(problem.platform, problem.requests, reserved)
+
+    shared = FluidSimulation(problem).run()
+    dropped = FluidSimulation(problem, drop_at_deadline=True).run()
+
+    table.add_row(
+        f"{gap:g} s",
+        f"{reserved.accept_rate:.1%}",
+        f"{shared.deadline_met_rate:.1%}",
+        f"{dropped.dropped_rate:.1%}",
+        f"{dropped.wasted_volume / 1e6:.1f}",
+    )
+
+print(table.to_text())
+print()
+print("Reservation accepts fewer transfers but 100% of them are on time and")
+print("no capacity is ever spent on a transfer that later fails — the three")
+print("goals of the paper: predictability, reliability, performance.")

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Know your workload before trusting your experiment.
+
+Prints the five-number summaries and text histograms of the two paper
+workloads (rigid §4.3 and flexible §5.3), plus the empirical load check
+against the Little's-law calibration target.
+
+Run:  python examples/workload_characterization.py
+"""
+
+import numpy as np
+
+from repro.workload import (
+    paper_flexible_workload,
+    paper_rigid_workload,
+    summarize,
+    text_histogram,
+)
+
+rigid = paper_rigid_workload(load=4.0, n_requests=2000, seed=1)
+flexible = paper_flexible_workload(mean_interarrival=2.0, n_requests=2000, seed=1)
+
+print("=== rigid workload (§4.3, calibrated to load 4.0) ===")
+print(summarize(rigid.requests, rigid.platform).to_text())
+arrays = rigid.requests.as_arrays()
+print()
+print(text_histogram(arrays["min_rate"], bins=8, log=True,
+                     title="fixed bandwidth bw(r) [MB/s], log bins"))
+
+print("\n=== flexible workload (§5.3, mean inter-arrival 2 s) ===")
+print(summarize(flexible.requests, flexible.platform).to_text())
+arrays = flexible.requests.as_arrays()
+print()
+print(text_histogram(arrays["volume"], bins=8, log=True,
+                     title="volumes [MB], log bins (the paper's 10 GB - 1 TB set)"))
+durations = arrays["volume"] / arrays["max_rate"]
+print()
+print(text_histogram(durations, bins=8, log=True,
+                     title="fastest transfer time vol/MaxRate [s] (tens of seconds to ~a day)"))

@@ -1,0 +1,11 @@
+"""Regenerate every EXPERIMENTS.md table at full size.
+
+Thin shim over ``repro.experiments.generate_all`` (also available as
+``grid-bandwidth report --out results``).
+"""
+
+from repro.experiments import generate_all
+
+if __name__ == "__main__":
+    generate_all("results", progress=print)
+    print("done")

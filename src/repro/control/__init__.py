@@ -1,0 +1,28 @@
+"""Overlay control plane: distributed admission and rate enforcement (§5.4).
+
+:class:`ControlPlane` simulates the RSVP-like two-phase reservation between
+ingress and egress access routers; :class:`TokenBucket` models the
+client-side pacing / access-point drop enforcement.
+"""
+
+from .messages import MessageType, ReservationMessage
+from .plane import ControlPlane
+from .router import PortAgent
+from .service import Reservation, ReservationService, ReservationState
+from .striped import StripedBooking, book_striped, plan_striped
+from .token_bucket import TokenBucket, enforce_series
+
+__all__ = [
+    "ControlPlane",
+    "MessageType",
+    "PortAgent",
+    "Reservation",
+    "ReservationService",
+    "ReservationState",
+    "ReservationMessage",
+    "StripedBooking",
+    "TokenBucket",
+    "book_striped",
+    "enforce_series",
+    "plan_striped",
+]

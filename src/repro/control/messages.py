@@ -1,0 +1,44 @@
+"""Reservation signalling messages (RSVP-like, §5.4).
+
+The control plane reuses the RSVP request shape but routes messages inside
+the grid overlay: a client submits to its ingress access router, which
+probes the egress router and answers the client directly with a scheduled
+window and rate.  Four message types realise a two-phase reservation:
+
+``PROBE`` (ingress → egress: can you hold ``bw``?), ``PROBE_REPLY``
+(egress → ingress: held / refused), ``COMMIT`` (ingress → egress: the
+transfer is on) and ``RELEASE`` (either direction: return bandwidth).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MessageType", "ReservationMessage"]
+
+
+class MessageType(enum.Enum):
+    """Kinds of control-plane messages."""
+
+    PROBE = "probe"
+    PROBE_REPLY = "probe-reply"
+    COMMIT = "commit"
+    RELEASE = "release"
+
+
+@dataclass(frozen=True, slots=True)
+class ReservationMessage:
+    """One signalling message between overlay routers.
+
+    ``rid`` identifies the request end-to-end; ``ok`` is meaningful only on
+    ``PROBE_REPLY``; ``bw`` rides along so routers stay stateless about
+    in-flight proposals they refused.
+    """
+
+    kind: MessageType
+    rid: int
+    src: int
+    dst: int
+    bw: float
+    ok: bool = True

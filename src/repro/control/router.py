@@ -1,0 +1,80 @@
+"""Overlay router reservation state.
+
+Each access point (ingress or egress) is guarded by a router agent that
+tracks, at its own local time, the bandwidth **committed** to running
+transfers (released when they finish) and **held** for in-flight two-phase
+reservations (released on commit or abort).  Admission decisions only ever
+read local agent state — the distributed analogue of the ``ali``/``ale``
+bookkeeping in Algorithms 2–3.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.errors import CapacityError
+from ..core.ledger import CAPACITY_SLACK
+
+__all__ = ["PortAgent"]
+
+
+class PortAgent:
+    """Reservation bookkeeping for one access port of an overlay router."""
+
+    __slots__ = ("capacity", "_committed", "_held", "_releases")
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._committed = 0.0
+        self._held = 0.0
+        self._releases: list[tuple[float, float]] = []  # (release time, bw)
+
+    # ------------------------------------------------------------------
+    def release_due(self, t: float) -> None:
+        """Return bandwidth of transfers finished at or before ``t``."""
+        while self._releases and self._releases[0][0] <= t:
+            _, bw = heapq.heappop(self._releases)
+            self._committed -= bw
+
+    def free(self, t: float) -> float:
+        """Uncommitted, unheld bandwidth at local time ``t``."""
+        self.release_due(t)
+        return self.capacity - self._committed - self._held
+
+    def can_hold(self, t: float, bw: float) -> bool:
+        """Would a hold of ``bw`` keep the port within capacity?"""
+        return bw <= self.free(t) + self.capacity * CAPACITY_SLACK
+
+    # ------------------------------------------------------------------
+    def hold(self, t: float, bw: float) -> bool:
+        """Place a hold; returns False (no state change) when it cannot fit."""
+        if not self.can_hold(t, bw):
+            return False
+        self._held += bw
+        return True
+
+    def unhold(self, bw: float) -> None:
+        """Abort a hold."""
+        self._held -= bw
+        if self._held < -CAPACITY_SLACK * self.capacity:
+            raise CapacityError("released more held bandwidth than outstanding")
+        self._held = max(self._held, 0.0)
+
+    def commit(self, bw: float, release_at: float) -> None:
+        """Convert a hold into a commitment released at ``release_at``."""
+        self.unhold(bw)
+        self._committed += bw
+        heapq.heappush(self._releases, (release_at, bw))
+
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> float:
+        """Bandwidth of running transfers (as of the last release sweep)."""
+        return self._committed
+
+    @property
+    def held(self) -> float:
+        """Bandwidth locked by in-flight reservations."""
+        return self._held

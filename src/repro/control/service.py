@@ -1,0 +1,253 @@
+"""A stateful reservation service — the client-facing API (§5.4).
+
+The paper's deployment returns "a scheduled time window and allocated
+rate" directly to the client.  :class:`ReservationService` packages the
+book-ahead admission logic behind exactly that interface, usable as a
+long-running service object:
+
+>>> service = ReservationService(Platform.paper_platform())
+>>> r = service.submit(ingress=0, egress=3, volume=200_000, deadline=7200, now=0.0)
+>>> r.confirmed, r.allocation.bw     # doctest: +SKIP
+(True, 333.3)
+
+Reservations can later be **cancelled**; bandwidth not yet consumed is
+returned to the ledger and benefits subsequent submissions (the tests
+assert this capacity reuse).  The service clock only moves forward.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from ..core.allocation import Allocation
+from ..core.errors import ConfigurationError
+from ..core.ledger import PortLedger
+from ..core.platform import Platform
+from ..core.request import Request
+from ..schedulers.policies import BandwidthPolicy, MinRatePolicy
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from .striped import StripedBooking
+
+__all__ = ["ReservationService", "Reservation", "ReservationState"]
+
+
+class ReservationState(enum.Enum):
+    """Lifecycle of a reservation."""
+
+    REJECTED = "rejected"
+    CONFIRMED = "confirmed"   # booked, transfer not yet started
+    ACTIVE = "active"         # transfer in progress
+    COMPLETED = "completed"   # transfer window fully elapsed
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Reservation:
+    """A client's handle on one submitted transfer."""
+
+    rid: int
+    request: Request
+    allocation: Allocation | None
+    cancelled_at: float | None = None
+
+    @property
+    def confirmed(self) -> bool:
+        """Was the reservation admitted?"""
+        return self.allocation is not None
+
+    def state(self, now: float) -> ReservationState:
+        """Lifecycle state as of time ``now``."""
+        if self.allocation is None:
+            return ReservationState.REJECTED
+        if self.cancelled_at is not None:
+            return ReservationState.CANCELLED
+        if now < self.allocation.sigma:
+            return ReservationState.CONFIRMED
+        if now < self.allocation.tau:
+            return ReservationState.ACTIVE
+        return ReservationState.COMPLETED
+
+
+class ReservationService:
+    """Online book-ahead admission with submit / cancel / inspect calls.
+
+    Parameters
+    ----------
+    platform:
+        Port capacities.
+    policy:
+        Bandwidth assignment policy for admitted transfers.
+    """
+
+    def __init__(self, platform: Platform, policy: BandwidthPolicy | None = None) -> None:
+        self.platform = platform
+        self.policy = policy or MinRatePolicy()
+        self._ledger = PortLedger(platform)
+        self._clock = float("-inf")
+        self._ids = itertools.count()
+        self._reservations: dict[int, Reservation] = {}
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> float:
+        if now < self._clock:
+            raise ConfigurationError(f"time went backwards: {now} < {self._clock}")
+        self._clock = now
+        return now
+
+    @property
+    def now(self) -> float:
+        """Last observed service time."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        *,
+        ingress: int,
+        egress: int,
+        volume: float,
+        deadline: float,
+        now: float,
+        max_rate: float | None = None,
+    ) -> Reservation:
+        """Submit a transfer; returns a confirmed or rejected reservation.
+
+        ``deadline`` is absolute; the window opens at ``now``.  The service
+        books the earliest feasible start within the window at the policy's
+        rate, exactly like :class:`~repro.schedulers.advance.EarliestStartFlexible`.
+        """
+        self._advance(now)
+        if max_rate is None:
+            max_rate = self.platform.bottleneck(ingress, egress)
+        rid = next(self._ids)
+        # Structural validation (positive volume, non-empty window, reachable
+        # deadline) happens in the Request constructor and propagates as
+        # InvalidRequestError — a malformed submission, not a rejection.
+        request = Request(
+            rid=rid,
+            ingress=ingress,
+            egress=egress,
+            volume=volume,
+            t_start=now,
+            t_end=deadline,
+            max_rate=max_rate,
+        )
+        allocation = self._book(request)
+        reservation = Reservation(rid=rid, request=request, allocation=allocation)
+        self._reservations[rid] = reservation
+        return reservation
+
+    def _book(self, request: Request) -> Allocation | None:
+        latest = request.t_end - request.min_duration
+        if latest < request.t_start:
+            return None
+        starts = {request.t_start}
+        for timeline in (
+            self._ledger.ingress_timeline(request.ingress),
+            self._ledger.egress_timeline(request.egress),
+        ):
+            for t in timeline.breakpoints():
+                if request.t_start < t <= latest:
+                    starts.add(float(t))
+        for sigma in sorted(starts):
+            bw = self.policy.assign(request, sigma)
+            if bw is None:
+                continue
+            tau = sigma + request.volume / bw
+            if tau > request.t_end * (1 + 1e-12):
+                continue
+            if self._ledger.fits(request.ingress, request.egress, sigma, tau, bw):
+                self._ledger.allocate(request.ingress, request.egress, sigma, tau, bw)
+                return Allocation.for_request(request, bw, sigma=sigma)
+        return None
+
+    def submit_striped(
+        self,
+        *,
+        sources: list[int],
+        egress: int,
+        volume: float,
+        deadline: float,
+        now: float,
+        max_stream_rate: float | None = None,
+    ) -> "StripedBooking | None":
+        """Book a multi-source (striped) staging transfer.
+
+        All stripes start now and finish together as early as the ledger
+        allows (see :mod:`repro.control.striped`).  Returns the committed
+        booking, or ``None`` (nothing booked) when the deadline cannot be
+        met.  Striped bookings are not individually cancellable — they
+        model one logical dataset staging.
+        """
+        from .striped import book_striped
+
+        self._advance(now)
+        base = next(self._ids)
+        # Reserve one id per potential stripe so rids stay unique.
+        for _ in range(len(sources) - 1):
+            next(self._ids)
+        return book_striped(
+            self._ledger,
+            self.platform,
+            sources=sources,
+            egress=egress,
+            volume=volume,
+            t_start=now,
+            t_end=deadline,
+            max_stream_rate=max_stream_rate,
+            base_rid=base,
+        )
+
+    # ------------------------------------------------------------------
+    def cancel(self, rid: int, *, now: float) -> bool:
+        """Cancel a reservation; unconsumed bandwidth returns to the pool.
+
+        Returns True when anything was released (a confirmed or active
+        reservation); False for rejected/completed/already-cancelled ones.
+        """
+        self._advance(now)
+        reservation = self._reservations.get(rid)
+        if reservation is None:
+            raise KeyError(f"unknown reservation {rid}")
+        state = reservation.state(now)
+        if state not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+            return False
+        alloc = reservation.allocation
+        assert alloc is not None
+        release_from = max(now, alloc.sigma)
+        if release_from < alloc.tau:
+            self._ledger.release(
+                alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw
+            )
+        reservation.cancelled_at = now
+        return True
+
+    # ------------------------------------------------------------------
+    def get(self, rid: int) -> Reservation:
+        """Look up a reservation by id."""
+        try:
+            return self._reservations[rid]
+        except KeyError:
+            raise KeyError(f"unknown reservation {rid}") from None
+
+    def reservations(self) -> list[Reservation]:
+        """All reservations, in submission order."""
+        return [self._reservations[rid] for rid in sorted(self._reservations)]
+
+    def accept_rate(self) -> float:
+        """Confirmed over submitted."""
+        if not self._reservations:
+            return 0.0
+        confirmed = sum(r.confirmed for r in self._reservations.values())
+        return confirmed / len(self._reservations)
+
+    def port_usage(self, t: float) -> tuple[list[float], list[float]]:
+        """Committed bandwidth per (ingress, egress) port at time ``t``."""
+        ins = [self._ledger.ingress_usage_at(i, t) for i in range(self.platform.num_ingress)]
+        outs = [self._ledger.egress_usage_at(e, t) for e in range(self.platform.num_egress)]
+        return ins, outs

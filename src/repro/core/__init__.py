@@ -1,0 +1,53 @@
+"""Core data model: requests, platforms, timelines, allocations, objectives.
+
+This package implements the paper's system model (§2): short-lived transfer
+requests with transmission windows, ingress/egress capacity constraints
+(Eq. 1), and the MAX-REQUESTS / RESOURCE-UTIL objectives.
+"""
+
+from .allocation import Allocation, ScheduleResult, verify_schedule
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    InvalidRequestError,
+    ReproError,
+    ScheduleViolation,
+)
+from .ledger import PortLedger
+from .objectives import (
+    accept_rate,
+    demanded_bandwidth,
+    guaranteed_count,
+    guaranteed_rate,
+    resource_utilization,
+    resource_utilization_time_averaged,
+    time_averaged_utilization,
+)
+from .platform import Platform
+from .problem import ProblemInstance
+from .request import Request, RequestSet
+from .timeline import BandwidthTimeline
+
+__all__ = [
+    "Allocation",
+    "BandwidthTimeline",
+    "CapacityError",
+    "ConfigurationError",
+    "InvalidRequestError",
+    "Platform",
+    "PortLedger",
+    "ProblemInstance",
+    "ReproError",
+    "Request",
+    "RequestSet",
+    "ScheduleResult",
+    "ScheduleViolation",
+    "accept_rate",
+    "demanded_bandwidth",
+    "guaranteed_count",
+    "guaranteed_rate",
+    "resource_utilization",
+    "resource_utilization_time_averaged",
+    "time_averaged_utilization",
+    "verify_schedule",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidRequestError",
+    "CapacityError",
+    "ScheduleViolation",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A transfer request violates its own structural invariants.
+
+    Raised e.g. for non-positive volume, an empty transmission window, or a
+    ``MaxRate`` below the ``MinRate`` implied by the window.
+    """
+
+
+class CapacityError(ReproError, ValueError):
+    """An allocation was attempted beyond a port's capacity."""
+
+
+class ScheduleViolation(ReproError, AssertionError):
+    """A produced schedule violates the resource-sharing constraints (Eq. 1).
+
+    Raised by :func:`repro.core.allocation.verify_schedule`, which re-checks
+    every schedule independently of scheduler bookkeeping.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or scheduler was configured inconsistently."""

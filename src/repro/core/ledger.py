@@ -1,0 +1,148 @@
+"""Capacity-checked allocation ledger for a whole platform.
+
+:class:`PortLedger` keeps one :class:`~repro.core.timeline.BandwidthTimeline`
+per ingress and per egress point and enforces the resource-sharing
+constraints of Eq. 1: at every instant, the bandwidth committed on a port
+never exceeds its capacity.
+
+Schedulers use the ledger in two modes:
+
+- *query* (``fits``): would a constant allocation of ``bw`` on the pair
+  ``(ingress, egress)`` over ``[t0, t1)`` stay within both capacities?
+- *mutate* (``allocate`` / ``release``): commit or return bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import CapacityError
+from .platform import Platform
+from .timeline import BandwidthTimeline
+
+__all__ = ["PortLedger", "CAPACITY_SLACK"]
+
+#: Relative numerical slack applied to capacity comparisons.  Bandwidth
+#: values are sums of floats; a strict ``<=`` would reject exact fits that
+#: differ by one ulp.
+CAPACITY_SLACK: float = 1e-9
+
+
+class PortLedger:
+    """Tracks committed bandwidth on every access point of a platform."""
+
+    __slots__ = ("platform", "_ingress", "_egress")
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._ingress = [BandwidthTimeline() for _ in range(platform.num_ingress)]
+        self._egress = [BandwidthTimeline() for _ in range(platform.num_egress)]
+
+    # ------------------------------------------------------------------
+    def ingress_timeline(self, i: int) -> BandwidthTimeline:
+        """The usage timeline of ingress point ``i`` (live view)."""
+        return self._ingress[i]
+
+    def egress_timeline(self, e: int) -> BandwidthTimeline:
+        """The usage timeline of egress point ``e`` (live view)."""
+        return self._egress[e]
+
+    # ------------------------------------------------------------------
+    def fits(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> bool:
+        """True when ``bw`` fits on both ports over all of ``[t0, t1)``."""
+        cap_in = self.platform.bin(ingress)
+        cap_out = self.platform.bout(egress)
+        slack_in = cap_in * CAPACITY_SLACK
+        slack_out = cap_out * CAPACITY_SLACK
+        if self._ingress[ingress].max_usage(t0, t1) + bw > cap_in + slack_in:
+            return False
+        if self._egress[egress].max_usage(t0, t1) + bw > cap_out + slack_out:
+            return False
+        return True
+
+    def headroom(self, ingress: int, egress: int, t0: float, t1: float) -> float:
+        """Largest constant bandwidth allocatable on the pair over ``[t0, t1)``."""
+        free_in = self.platform.bin(ingress) - self._ingress[ingress].max_usage(t0, t1)
+        free_out = self.platform.bout(egress) - self._egress[egress].max_usage(t0, t1)
+        return max(0.0, min(free_in, free_out))
+
+    def allocate(
+        self,
+        ingress: int,
+        egress: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        check: bool = True,
+    ) -> None:
+        """Commit ``bw`` on the pair over ``[t0, t1)``.
+
+        With ``check=True`` (default) a :class:`CapacityError` is raised and
+        the ledger left untouched when the allocation would overflow either
+        port.
+        """
+        if bw < 0:
+            raise CapacityError(f"negative allocation {bw}")
+        if check and not self.fits(ingress, egress, t0, t1, bw):
+            raise CapacityError(
+                f"allocation of {bw} MB/s on pair ({ingress}, {egress}) over "
+                f"[{t0}, {t1}) exceeds a port capacity"
+            )
+        self._ingress[ingress].add(t0, t1, bw)
+        self._egress[egress].add(t0, t1, bw)
+
+    def release(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> None:
+        """Return ``bw`` previously committed on the pair over ``[t0, t1)``."""
+        if bw < 0:
+            raise CapacityError(f"negative release {bw}")
+        self._ingress[ingress].add(t0, t1, -bw)
+        self._egress[egress].add(t0, t1, -bw)
+
+    # ------------------------------------------------------------------
+    def ingress_usage_at(self, i: int, t: float) -> float:
+        """Committed bandwidth on ingress ``i`` at time ``t``."""
+        return self._ingress[i].usage_at(t)
+
+    def egress_usage_at(self, e: int, t: float) -> float:
+        """Committed bandwidth on egress ``e`` at time ``t``."""
+        return self._egress[e].usage_at(t)
+
+    def max_overcommit(self) -> float:
+        """Worst-case overshoot ``usage - capacity`` across all ports.
+
+        Non-positive for a valid ledger; used by the verifier and tests.
+        """
+        worst = -math.inf
+        for i, tl in enumerate(self._ingress):
+            worst = max(worst, tl.global_max() - self.platform.bin(i))
+        for e, tl in enumerate(self._egress):
+            worst = max(worst, tl.global_max() - self.platform.bout(e))
+        return worst
+
+    def carried_volume(self, t0: float, t1: float) -> float:
+        """Total MB carried through the network over ``[t0, t1)``.
+
+        Ingress and egress each see the full volume, hence the factor ½ —
+        mirroring the paper's utilisation scaling.
+        """
+        total = 0.0
+        for tl in self._ingress:
+            total += tl.integral(t0, t1)
+        for tl in self._egress:
+            total += tl.integral(t0, t1)
+        return 0.5 * total
+
+    def is_empty(self) -> bool:
+        """True when nothing is committed anywhere."""
+        return all(tl.is_zero() for tl in self._ingress) and all(
+            tl.is_zero() for tl in self._egress
+        )
+
+    def copy(self) -> "PortLedger":
+        """Deep copy (used by look-ahead heuristics and the B&B solver)."""
+        clone = PortLedger.__new__(PortLedger)
+        clone.platform = self.platform
+        clone._ingress = [tl.copy() for tl in self._ingress]
+        clone._egress = [tl.copy() for tl in self._egress]
+        return clone

@@ -1,0 +1,149 @@
+"""Grid overlay platform model.
+
+The paper's system model (§2, Figure 1) is a set of grid sites behind edge
+("overlay") routers over a well-provisioned core: the core is lossless and
+never the bottleneck, so the platform reduces to
+
+- ``M`` **ingress points** with capacities ``B_in(i)``, and
+- ``N`` **egress points** with capacities ``B_out(e)``.
+
+A request consumes ``bw(r)`` at exactly one ingress and one egress for the
+duration of its transfer; these access links are the only constrained
+resources (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Capacities of the grid access points.
+
+    Parameters
+    ----------
+    ingress_capacity:
+        Array of ``M`` ingress capacities ``B_in(i)`` in MB/s.
+    egress_capacity:
+        Array of ``N`` egress capacities ``B_out(e)`` in MB/s.
+    """
+
+    ingress_capacity: np.ndarray
+    egress_capacity: np.ndarray
+
+    def __init__(
+        self,
+        ingress_capacity: Iterable[float],
+        egress_capacity: Iterable[float],
+    ) -> None:
+        bin_arr = np.asarray(list(ingress_capacity), dtype=np.float64)
+        bout_arr = np.asarray(list(egress_capacity), dtype=np.float64)
+        if bin_arr.ndim != 1 or bout_arr.ndim != 1:
+            raise ConfigurationError("capacities must be one-dimensional")
+        if bin_arr.size == 0 or bout_arr.size == 0:
+            raise ConfigurationError("platform needs at least one ingress and one egress")
+        if np.any(bin_arr <= 0) or np.any(bout_arr <= 0):
+            raise ConfigurationError("capacities must be positive")
+        bin_arr.flags.writeable = False
+        bout_arr.flags.writeable = False
+        object.__setattr__(self, "ingress_capacity", bin_arr)
+        object.__setattr__(self, "egress_capacity", bout_arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ingress(self) -> int:
+        """Number of ingress points ``M``."""
+        return int(self.ingress_capacity.size)
+
+    @property
+    def num_egress(self) -> int:
+        """Number of egress points ``N``."""
+        return int(self.egress_capacity.size)
+
+    @property
+    def total_capacity(self) -> float:
+        """``sum B_in + sum B_out`` (both sides of the network)."""
+        return float(self.ingress_capacity.sum() + self.egress_capacity.sum())
+
+    @property
+    def half_capacity(self) -> float:
+        """``(sum B_in + sum B_out) / 2`` — the paper's load/utilisation denominator.
+
+        A transfer consumes bandwidth at both an ingress and an egress, so
+        total grantable throughput is half of the summed port capacities.
+        """
+        return 0.5 * self.total_capacity
+
+    def bin(self, i: int) -> float:
+        """Capacity ``B_in(i)`` of ingress point ``i``."""
+        return float(self.ingress_capacity[i])
+
+    def bout(self, e: int) -> float:
+        """Capacity ``B_out(e)`` of egress point ``e``."""
+        return float(self.egress_capacity[e])
+
+    def bottleneck(self, i: int, e: int) -> float:
+        """``b_min = min(B_in(i), B_out(e))`` for a pair — used by the
+        CUMULATED-SLOTS cost factor (§4.2)."""
+        return min(self.bin(i), self.bout(e))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, num_ingress: int, num_egress: int, capacity: float) -> "Platform":
+        """All ports share one capacity — the paper's simulation platform.
+
+        The published experiments use ``uniform(10, 10, 1000.0)``:
+        10 ingress and 10 egress points at 1 GB/s each (§4.3).
+        """
+        return cls([capacity] * num_ingress, [capacity] * num_egress)
+
+    @classmethod
+    def paper_platform(cls) -> "Platform":
+        """The exact simulation platform of §4.3: 10×10 ports at 1 GB/s."""
+        return cls.uniform(10, 10, 1000.0)
+
+    @classmethod
+    def grid5000(cls, site_capacities: Iterable[float] | None = None) -> "Platform":
+        """A Grid'5000-like platform: 8 sites, symmetric access links.
+
+        Each site contributes one ingress and one egress point.  Default
+        capacities mimic the heterogeneous access links of the eight French
+        sites (between 1 and 10 Gbit/s ≈ 125–1250 MB/s).
+        """
+        if site_capacities is None:
+            site_capacities = [1250.0, 1250.0, 1250.0, 625.0, 625.0, 625.0, 125.0, 125.0]
+        caps = list(site_capacities)
+        return cls(caps, caps)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation (JSON friendly)."""
+        return {
+            "ingress_capacity": self.ingress_capacity.tolist(),
+            "egress_capacity": self.egress_capacity.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Platform":
+        """Inverse of :meth:`to_dict`."""
+        return cls(data["ingress_capacity"], data["egress_capacity"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return np.array_equal(self.ingress_capacity, other.ingress_capacity) and np.array_equal(
+            self.egress_capacity, other.egress_capacity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ingress_capacity.tobytes(), self.egress_capacity.tobytes()))

@@ -1,0 +1,35 @@
+"""Exact solvers and the NP-completeness machinery (§3).
+
+- 3-DM instances and solver (:mod:`repro.exact.three_dm`);
+- the Theorem 1 reduction 3-DM → MAX-REQUESTS-DEC
+  (:mod:`repro.exact.reduction`);
+- exact MILP solvers for rigid and unit-slotted instances
+  (:mod:`repro.exact.milp`), a pure-Python branch-and-bound cross-check
+  (:mod:`repro.exact.branch_bound`) and the LP relaxation bound
+  (:mod:`repro.exact.lp`);
+- the polynomial single-pair algorithms (:mod:`repro.exact.single_pair`).
+"""
+
+from .branch_bound import max_requests_rigid_bb
+from .flexible_lp import flexible_lp_bound
+from .lp import rigid_lp_bound
+from .milp import max_requests_rigid_exact, max_requests_unit_slotted_exact
+from .reduction import ReducedInstance, reduce_3dm, schedule_from_matching
+from .single_pair import edf_single_pair_unit, greedy_single_pair_rigid
+from .three_dm import ThreeDMInstance, random_3dm, solve_3dm
+
+__all__ = [
+    "ReducedInstance",
+    "ThreeDMInstance",
+    "edf_single_pair_unit",
+    "flexible_lp_bound",
+    "greedy_single_pair_rigid",
+    "max_requests_rigid_bb",
+    "max_requests_rigid_exact",
+    "max_requests_unit_slotted_exact",
+    "random_3dm",
+    "reduce_3dm",
+    "rigid_lp_bound",
+    "schedule_from_matching",
+    "solve_3dm",
+]

@@ -1,0 +1,126 @@
+"""Time-indexed LP upper bound for flexible MAX-REQUESTS.
+
+The rigid LP bound (:mod:`repro.exact.lp`) does not apply to flexible
+requests, whose start time and rate are free.  This module relaxes the
+problem further — accepted fraction ``x_r ∈ [0, 1]`` and a *variable-rate*
+profile ``y_{r,s} ≥ 0`` per time slot ``s`` — and maximises ``Σ x_r``
+subject to
+
+- volume delivery:  ``Σ_s y_{r,s} · len(s) = vol(r) · x_r``,
+- host limit:       ``y_{r,s} ≤ MaxRate(r) · x_r``,
+- window:           ``y_{r,s} = 0`` outside ``[t_s(r), t_f(r)]``,
+- port capacity:    ``Σ_r y_{r,s} ≤ B`` at every port and slot.
+
+Every feasible constant-rate schedule maps onto a feasible point (set
+``y = bw`` on ``[σ, τ]``), so the LP optimum upper-bounds the true
+MAX-REQUESTS optimum.  Slot boundaries are the union of request window
+endpoints (no discretisation error), optionally coarsened to bound the LP
+size on long traces.
+
+Used by the benchmarks to report optimality gaps for GREEDY, WINDOW and
+the book-ahead extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from ..core.errors import ConfigurationError
+from ..core.problem import ProblemInstance
+
+__all__ = ["flexible_lp_bound"]
+
+
+def _slot_edges(problem: ProblemInstance, max_slots: int) -> np.ndarray:
+    edges = problem.requests.breakpoints()
+    if edges.size < 2:
+        raise ConfigurationError("need at least one non-empty window")
+    if edges.size - 1 <= max_slots:
+        return edges
+    # Coarsen: uniform grid over the span, keeping the exact endpoints.
+    # Coarsening only loosens the bound (rates may move freely inside a
+    # slot), so it stays a valid upper bound.
+    lo, hi = float(edges[0]), float(edges[-1])
+    return np.linspace(lo, hi, max_slots + 1)
+
+
+def flexible_lp_bound(problem: ProblemInstance, *, max_slots: int = 300) -> float:
+    """Upper bound on the number of acceptable (flexible) requests."""
+    requests = list(problem.requests)
+    if not requests:
+        return 0.0
+    platform = problem.platform
+    edges = _slot_edges(problem, max_slots)
+    lengths = np.diff(edges)
+    num_slots = lengths.size
+
+    # Variable layout: x_r for r in 0..K-1, then y_{r,s} for the (r, s)
+    # pairs where the window overlaps the slot.
+    k = len(requests)
+    y_index: dict[tuple[int, int], int] = {}
+    next_var = k
+    slots_of: list[list[int]] = []
+    for r_idx, request in enumerate(requests):
+        lo = int(np.searchsorted(edges, request.t_start, side="right") - 1)
+        hi = int(np.searchsorted(edges, request.t_end, side="left"))
+        lo = max(lo, 0)
+        hi = min(hi, num_slots)
+        cols = []
+        for s in range(lo, hi):
+            # Overlap of the window with slot s; a coarsened slot may stick
+            # out of the window, in which case the deliverable volume is
+            # proportionally limited through the host-rate row below.
+            y_index[(r_idx, s)] = next_var
+            cols.append(s)
+            next_var += 1
+        if not cols:
+            raise ConfigurationError(f"request {request.rid}: window misses every slot")
+        slots_of.append(cols)
+    num_vars = next_var
+
+    rows_ub: list[tuple[dict[int, float], float]] = []
+    rows_eq: list[tuple[dict[int, float], float]] = []
+
+    for r_idx, request in enumerate(requests):
+        # volume: sum_s y * overlap_len - vol * x = 0
+        coeffs: dict[int, float] = {r_idx: -request.volume}
+        for s in slots_of[r_idx]:
+            overlap = min(edges[s + 1], request.t_end) - max(edges[s], request.t_start)
+            coeffs[y_index[(r_idx, s)]] = max(overlap, 0.0)
+        rows_eq.append((coeffs, 0.0))
+        # host limit: y - MaxRate * x <= 0
+        for s in slots_of[r_idx]:
+            rows_ub.append(({y_index[(r_idx, s)]: 1.0, r_idx: -request.max_rate}, 0.0))
+
+    # capacity rows per (port, slot) with any demand
+    port_rows: dict[tuple[str, int, int], dict[int, float]] = {}
+    for r_idx, request in enumerate(requests):
+        for s in slots_of[r_idx]:
+            port_rows.setdefault(("in", request.ingress, s), {})[y_index[(r_idx, s)]] = 1.0
+            port_rows.setdefault(("out", request.egress, s), {})[y_index[(r_idx, s)]] = 1.0
+    for (side, port, _s), coeffs in port_rows.items():
+        cap = platform.bin(port) if side == "in" else platform.bout(port)
+        rows_ub.append((coeffs, cap))
+
+    def build(rows):
+        data, ri, ci, rhs = [], [], [], []
+        for r, (coeffs, bound) in enumerate(rows):
+            rhs.append(bound)
+            for col, val in coeffs.items():
+                data.append(val)
+                ri.append(r)
+                ci.append(col)
+        return csr_matrix((data, (ri, ci)), shape=(len(rows), num_vars)), np.asarray(rhs)
+
+    a_ub, b_ub = build(rows_ub)
+    a_eq, b_eq = build(rows_eq)
+
+    c = np.zeros(num_vars)
+    c[:k] = -1.0  # maximise accepted fractions
+    bounds = [(0.0, 1.0)] * k + [(0.0, None)] * (num_vars - k)
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if not res.success:
+        raise RuntimeError(f"flexible LP failed: {res.message}")
+    return float(-res.fun)

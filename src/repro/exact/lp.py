@@ -1,0 +1,43 @@
+"""LP relaxation bound for rigid MAX-REQUESTS.
+
+Relaxing the accept variables to ``[0, 1]`` yields a polynomially-computable
+upper bound on the optimal accepted count.  Heuristic accept counts can be
+reported as a fraction of this bound on instances too large for the exact
+solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.errors import ConfigurationError
+from ..core.problem import ProblemInstance
+from .milp import _rigid_capacity_matrix
+
+__all__ = ["rigid_lp_bound"]
+
+
+def rigid_lp_bound(problem: ProblemInstance) -> float:
+    """Upper bound on the maximum number of acceptable rigid requests."""
+    requests = list(problem.requests)
+    for request in requests:
+        if not request.is_rigid:
+            raise ConfigurationError(f"request {request.rid} is flexible; LP bound handles rigid only")
+    if not requests:
+        return 0.0
+
+    matrix, upper = _rigid_capacity_matrix(problem)
+    k = len(requests)
+    if matrix.shape[0] == 0:
+        return float(k)
+    res = linprog(
+        c=-np.ones(k),
+        A_ub=matrix,
+        b_ub=upper * (1 + 1e-12),
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"LP solver failed: {res.message}")
+    return float(-res.fun)

@@ -1,0 +1,201 @@
+"""Exact MAX-REQUESTS solvers via mixed-integer linear programming.
+
+Two exact formulations built on :func:`scipy.optimize.milp` (HiGHS):
+
+- :func:`max_requests_rigid_exact` — rigid requests: binary accept
+  variables, one capacity row per (port, decomposition interval);
+- :func:`max_requests_unit_slotted_exact` — the MAX-REQUESTS-DEC structure
+  of Theorem 1: unit-bandwidth, unit-duration requests with integral
+  windows; binary variables per (request, feasible start slot).
+
+Both return optimal :class:`ScheduleResult` objects that pass
+:func:`repro.core.verify_schedule`, plus the LP relaxation is exposed in
+:mod:`repro.exact.lp` for bounding heuristics on larger instances.
+
+These solvers are exponential-time in the worst case (the problem is
+NP-complete, §3) and intended for instances of at most a few hundred
+variables — validating heuristics and the reduction, not production
+scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from ..core.allocation import Allocation, ScheduleResult
+from ..core.errors import ConfigurationError
+from ..core.problem import ProblemInstance
+
+__all__ = ["max_requests_rigid_exact", "max_requests_unit_slotted_exact"]
+
+
+def _rigid_capacity_matrix(problem: ProblemInstance):
+    """Sparse constraint matrix: one row per (port, interval) with demand."""
+    requests = list(problem.requests)
+    breakpoints = problem.requests.breakpoints()
+    platform = problem.platform
+
+    rows: dict[tuple[str, int, int], dict[int, float]] = {}
+    for col, request in enumerate(requests):
+        bw = request.min_rate
+        lo = int(np.searchsorted(breakpoints, request.t_start))
+        hi = int(np.searchsorted(breakpoints, request.t_end))
+        for interval in range(lo, hi):
+            rows.setdefault(("in", request.ingress, interval), {})[col] = bw
+            rows.setdefault(("out", request.egress, interval), {})[col] = bw
+
+    data, row_idx, col_idx, upper = [], [], [], []
+    for r, (key, coeffs) in enumerate(rows.items()):
+        side, port, _ = key
+        cap = platform.bin(port) if side == "in" else platform.bout(port)
+        upper.append(cap)
+        for col, bw in coeffs.items():
+            data.append(bw)
+            row_idx.append(r)
+            col_idx.append(col)
+    matrix = csr_matrix((data, (row_idx, col_idx)), shape=(len(rows), len(requests)))
+    return matrix, np.asarray(upper)
+
+
+def max_requests_rigid_exact(
+    problem: ProblemInstance,
+    *,
+    weights: dict[int, float] | None = None,
+    time_limit: float | None = None,
+) -> ScheduleResult:
+    """Optimal accept/reject decisions for a rigid instance.
+
+    With ``weights`` (a ``rid -> weight`` mapping, default 1 per request)
+    the objective becomes weighted MAX-REQUESTS — e.g. prioritising large
+    or paying users; unspecified rids weigh 1.
+
+    Raises :class:`ConfigurationError` when the instance contains flexible
+    requests (their start/rate freedom needs the slotted formulation).
+    """
+    requests = list(problem.requests)
+    for request in requests:
+        if not request.is_rigid:
+            raise ConfigurationError(
+                f"request {request.rid} is flexible; use max_requests_unit_slotted_exact"
+            )
+    result = ScheduleResult(scheduler="milp-rigid")
+    if not requests:
+        return result
+
+    matrix, upper = _rigid_capacity_matrix(problem)
+    k = len(requests)
+    objective = np.ones(k)
+    if weights is not None:
+        for col, request in enumerate(requests):
+            objective[col] = float(weights.get(request.rid, 1.0))
+        if np.any(objective < 0):
+            raise ConfigurationError("weights must be non-negative")
+    constraints = (
+        [LinearConstraint(matrix, -np.inf, upper * (1 + 1e-12))] if matrix.shape[0] else []
+    )
+    res = milp(
+        c=-objective,  # maximise (weighted) accepted count
+        integrality=np.ones(k),
+        bounds=Bounds(0, 1),
+        constraints=constraints,
+        options={} if time_limit is None else {"time_limit": time_limit},
+    )
+    if res.x is None:
+        raise RuntimeError(f"MILP solver failed: {res.message}")
+    accepted = res.x > 0.5
+    for request, take in zip(requests, accepted):
+        if take:
+            result.accept(Allocation.for_request(request, request.min_rate))
+        else:
+            result.reject(request.rid)
+    result.meta["milp_status"] = res.message
+    return result
+
+
+def max_requests_unit_slotted_exact(
+    problem: ProblemInstance, *, slot_length: float = 1.0, time_limit: float | None = None
+) -> ScheduleResult:
+    """Optimal scheduling of unit-bandwidth, unit-slot requests.
+
+    Every request must need exactly one slot at ``MaxRate`` (``vol =
+    MaxRate × slot_length``) and have a window aligned to the slot grid —
+    the structure of MAX-REQUESTS-DEC (Definition 1).  Variables are
+    (request, start-slot) pairs; a request may also be rejected.
+    """
+    requests = list(problem.requests)
+    platform = problem.platform
+    result = ScheduleResult(scheduler="milp-unit-slotted")
+    if not requests:
+        return result
+
+    variables: list[tuple[int, int]] = []  # (request index, slot)
+    for idx, request in enumerate(requests):
+        duration = request.volume / request.max_rate
+        if not math.isclose(duration, slot_length, rel_tol=1e-9):
+            raise ConfigurationError(
+                f"request {request.rid}: transfer takes {duration}, not one slot"
+            )
+        first = request.t_start / slot_length
+        last = request.t_end / slot_length - 1
+        if not (
+            math.isclose(first, round(first), abs_tol=1e-9)
+            and math.isclose(last, round(last), abs_tol=1e-9)
+        ):
+            raise ConfigurationError(f"request {request.rid}: window not slot-aligned")
+        for slot in range(round(first), round(last) + 1):
+            variables.append((idx, slot))
+
+    # Rows: per-request "at most one start" + per (port, slot) capacity.
+    row_map: dict[tuple, dict[int, float]] = {}
+    for col, (idx, slot) in enumerate(variables):
+        request = requests[idx]
+        row_map.setdefault(("req", idx), {})[col] = 1.0
+        row_map.setdefault(("in", request.ingress, slot), {})[col] = request.max_rate
+        row_map.setdefault(("out", request.egress, slot), {})[col] = request.max_rate
+
+    data, row_idx, col_idx, upper = [], [], [], []
+    for r, (key, coeffs) in enumerate(row_map.items()):
+        if key[0] == "req":
+            upper.append(1.0)
+        elif key[0] == "in":
+            upper.append(platform.bin(key[1]))
+        else:
+            upper.append(platform.bout(key[1]))
+        for col, coeff in coeffs.items():
+            data.append(coeff)
+            row_idx.append(r)
+            col_idx.append(col)
+    matrix = csr_matrix((data, (row_idx, col_idx)), shape=(len(row_map), len(variables)))
+
+    res = milp(
+        c=-np.ones(len(variables)),
+        integrality=np.ones(len(variables)),
+        bounds=Bounds(0, 1),
+        constraints=[LinearConstraint(matrix, -np.inf, np.asarray(upper) * (1 + 1e-12))],
+        options={} if time_limit is None else {"time_limit": time_limit},
+    )
+    if res.x is None:
+        raise RuntimeError(f"MILP solver failed: {res.message}")
+
+    chosen = res.x > 0.5
+    decided: set[int] = set()
+    for col, take in enumerate(chosen):
+        if not take:
+            continue
+        idx, slot = variables[col]
+        request = requests[idx]
+        if idx in decided:  # pragma: no cover - excluded by the ≤1 rows
+            continue
+        decided.add(idx)
+        result.accept(
+            Allocation.for_request(request, bw=request.max_rate, sigma=slot * slot_length)
+        )
+    for idx, request in enumerate(requests):
+        if idx not in decided:
+            result.reject(request.rid)
+    result.meta["milp_status"] = res.message
+    return result

@@ -1,0 +1,145 @@
+"""The Theorem 1 reduction: 3-DM → MAX-REQUESTS-DEC.
+
+Builds, from a 3-DM instance with ``n ≥ 2``, the bandwidth-sharing instance
+of the NP-completeness proof:
+
+- ``n + 1`` ingress and ``n + 1`` egress points; the first ``n`` ("regular")
+  have capacity 1, the last ("special") has capacity ``n − 1``;
+- one **regular request** per triple ``(x, y, z)``: unit bandwidth from
+  ingress ``x`` to egress ``y``, rigid window ``[z, z + 1]``;
+- ``n − 1`` **special requests** per regular ingress ``i`` (to the special
+  egress) and per regular egress ``e`` (from the special ingress), each a
+  unit-bandwidth, unit-duration transfer flexible anywhere in ``[0, n]``;
+- the acceptance target ``K = n + 2n(n − 1)``.
+
+The paper proves: the 3-DM instance has a perfect matching **iff** at least
+``K`` requests can be accepted.  :func:`schedule_from_matching` materialises
+the forward direction explicitly (the proof's constructive schedule), which
+the tests validate with :func:`repro.core.verify_schedule`; the reverse
+direction is checked against the exact MILP solver on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.allocation import Allocation, ScheduleResult
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance
+from ..core.request import Request, RequestSet
+from .three_dm import ThreeDMInstance
+
+__all__ = ["ReducedInstance", "reduce_3dm", "schedule_from_matching"]
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """Output of the reduction: the problem, the target ``K`` and the
+    bookkeeping linking requests back to triples."""
+
+    source: ThreeDMInstance
+    problem: ProblemInstance
+    target: int
+    #: rid of the regular request associated with each triple index.
+    triple_rid: tuple[int, ...]
+
+    @property
+    def num_regular(self) -> int:
+        """Number of regular (triple) requests."""
+        return len(self.triple_rid)
+
+    @property
+    def num_special(self) -> int:
+        """Number of special requests, ``2n(n − 1)``."""
+        return self.problem.num_requests - self.num_regular
+
+
+def reduce_3dm(instance: ThreeDMInstance) -> ReducedInstance:
+    """Build the Theorem 1 instance ``B2`` from a 3-DM instance ``B1``."""
+    n = instance.n
+    if n < 2:
+        raise ConfigurationError("the reduction needs n >= 2 (special ports have capacity n-1)")
+
+    capacities = [1.0] * n + [float(n - 1)]
+    platform = Platform(capacities, capacities)
+    special = n  # index of the special ingress/egress point
+
+    requests: list[Request] = []
+    triple_rid: list[int] = []
+    rid = 0
+    for x, y, z in instance.triples:
+        # rigid unit request pinned to slot z: window [z, z+1], bw = 1
+        requests.append(Request.rigid(rid, x, y, volume=1.0, t_start=float(z), t_end=float(z + 1)))
+        triple_rid.append(rid)
+        rid += 1
+    for i in range(n):
+        for _ in range(n - 1):
+            # flexible: unit transfer, schedulable in any slot of [0, n]
+            requests.append(
+                Request(rid, i, special, volume=1.0, t_start=0.0, t_end=float(n), max_rate=1.0)
+            )
+            rid += 1
+    for e in range(n):
+        for _ in range(n - 1):
+            requests.append(
+                Request(rid, special, e, volume=1.0, t_start=0.0, t_end=float(n), max_rate=1.0)
+            )
+            rid += 1
+
+    problem = ProblemInstance(platform, RequestSet(requests))
+    target = n + 2 * n * (n - 1)
+    return ReducedInstance(instance, problem, target, tuple(triple_rid))
+
+
+def schedule_from_matching(reduced: ReducedInstance, matching: tuple[int, ...]) -> ScheduleResult:
+    """The proof's constructive schedule for a perfect matching ``T'``.
+
+    For each slot ``z`` the matching selects exactly one triple
+    ``(x, y, z)``; its regular request runs in that slot, together with one
+    special request from every regular ingress except ``x`` and one to every
+    regular egress except ``y``.  Every regular point is busy in every slot
+    and all ``K`` requests are accepted.
+    """
+    instance = reduced.source
+    n = instance.n
+    if not instance.is_matching(matching):
+        raise ConfigurationError("selection is not a perfect matching")
+
+    result = ScheduleResult(scheduler="reduction-constructive")
+    requests = reduced.problem.requests
+
+    # Special request rids grouped per regular point, in construction order.
+    num_regular = reduced.num_regular
+    ingress_specials = {
+        i: [num_regular + i * (n - 1) + k for k in range(n - 1)] for i in range(n)
+    }
+    egress_specials = {
+        e: [num_regular + n * (n - 1) + e * (n - 1) + k for k in range(n - 1)] for e in range(n)
+    }
+    ingress_cursor = {i: 0 for i in range(n)}
+    egress_cursor = {e: 0 for e in range(n)}
+
+    matched_rids = set()
+    for idx in matching:
+        x, y, z = instance.triples[idx]
+        rid = reduced.triple_rid[idx]
+        matched_rids.add(rid)
+        result.accept(Allocation.for_request(requests.by_rid(rid), bw=1.0))
+        for i in range(n):
+            if i == x:
+                continue
+            srid = ingress_specials[i][ingress_cursor[i]]
+            ingress_cursor[i] += 1
+            result.accept(Allocation.for_request(requests.by_rid(srid), bw=1.0, sigma=float(z)))
+        for e in range(n):
+            if e == y:
+                continue
+            srid = egress_specials[e][egress_cursor[e]]
+            egress_cursor[e] += 1
+            result.accept(Allocation.for_request(requests.by_rid(srid), bw=1.0, sigma=float(z)))
+
+    for request in requests:
+        if request.rid not in result.accepted:
+            result.reject(request.rid)
+    return result

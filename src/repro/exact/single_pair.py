@@ -1,0 +1,134 @@
+"""Polynomial algorithms for the single ingress–egress pair case (§3).
+
+Theorem 1's hardness needs several ports: the paper notes that on a single
+ingress–egress pair with uniform requests a greedy algorithm is optimal.
+Two polynomial algorithms realise that claim:
+
+- :func:`greedy_single_pair_rigid` — rigid uniform-bandwidth requests are
+  ``k``-track interval scheduling (``k = ⌊bottleneck / bw⌋`` parallel
+  lanes): accepting compatible requests in earliest-finish-time order is
+  the classic exchange-argument optimum;
+- :func:`edf_single_pair_unit` — flexible unit-slot requests: at each slot,
+  serve the released, unexpired requests with the earliest deadlines.
+
+Tests cross-check both against the exact MILP solver on random instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from ..core.allocation import Allocation, ScheduleResult
+from ..core.errors import ConfigurationError
+from ..core.ledger import PortLedger
+from ..core.problem import ProblemInstance
+from ..core.request import Request
+
+__all__ = ["greedy_single_pair_rigid", "edf_single_pair_unit"]
+
+
+def _require_single_pair(problem: ProblemInstance) -> tuple[int, int]:
+    pairs = {(r.ingress, r.egress) for r in problem.requests}
+    if len(pairs) > 1:
+        raise ConfigurationError(f"instance uses {len(pairs)} pairs; single-pair algorithms need one")
+    return next(iter(pairs)) if pairs else (0, 0)
+
+
+def _uniform_bw(problem: ProblemInstance) -> float:
+    bws = {round(r.min_rate, 12) for r in problem.requests}
+    if len(bws) > 1:
+        raise ConfigurationError("requests are not uniform-bandwidth")
+    return next(iter(bws))
+
+
+def greedy_single_pair_rigid(problem: ProblemInstance) -> ScheduleResult:
+    """Optimal accept set for rigid uniform requests on one pair.
+
+    Earliest-finish-time order, accepting whenever the candidate is
+    pointwise feasible against the already-accepted set (the Faigle–Nawijn
+    greedy for ``k``-machine interval scheduling, which is optimal).
+    """
+    result = ScheduleResult(scheduler="single-pair-greedy")
+    requests = list(problem.requests)
+    if not requests:
+        return result
+    for request in requests:
+        if not request.is_rigid:
+            raise ConfigurationError(f"request {request.rid} is flexible")
+    _require_single_pair(problem)
+    _uniform_bw(problem)
+
+    # Earliest finish first, accept whenever pointwise feasible (a set of
+    # intervals fits k tracks iff no instant is covered more than k times,
+    # which the ledger checks exactly) — the Faigle–Nawijn greedy.
+    ledger = PortLedger(problem.platform)
+    for request in sorted(requests, key=lambda r: (r.t_end, r.t_start, r.rid)):
+        bw = request.min_rate
+        if ledger.fits(request.ingress, request.egress, request.t_start, request.t_end, bw):
+            ledger.allocate(request.ingress, request.egress, request.t_start, request.t_end, bw)
+            result.accept(Allocation.for_request(request, bw))
+        else:
+            result.reject(request.rid)
+    return result
+
+
+def edf_single_pair_unit(problem: ProblemInstance, *, slot_length: float = 1.0) -> ScheduleResult:
+    """Earliest-deadline-first for flexible unit-slot requests on one pair.
+
+    Requests must take exactly one slot at ``MaxRate`` and carry
+    slot-aligned windows (the MAX-REQUESTS-DEC shape).  At each slot, the
+    ``k`` released, unexpired requests with the earliest deadlines run;
+    expired requests are rejected.
+    """
+    result = ScheduleResult(scheduler="single-pair-edf")
+    requests = list(problem.requests)
+    if not requests:
+        return result
+    ingress, egress = _require_single_pair(problem)
+    bw = None
+    for request in requests:
+        duration = request.volume / request.max_rate
+        if not math.isclose(duration, slot_length, rel_tol=1e-9):
+            raise ConfigurationError(f"request {request.rid}: transfer is not one slot")
+        if bw is None:
+            bw = request.max_rate
+        elif not math.isclose(bw, request.max_rate, rel_tol=1e-9):
+            raise ConfigurationError("requests are not uniform-bandwidth")
+    assert bw is not None
+    k = int(problem.platform.bottleneck(ingress, egress) / bw * (1 + 1e-12))
+
+    def slot_of(t: float) -> int:
+        s = t / slot_length
+        if not math.isclose(s, round(s), abs_tol=1e-9):
+            raise ConfigurationError(f"time {t} not slot-aligned")
+        return round(s)
+
+    by_release: dict[int, list[Request]] = {}
+    first = math.inf
+    last = -math.inf
+    for request in requests:
+        release = slot_of(request.t_start)
+        deadline = slot_of(request.t_end)  # exclusive: last start slot is deadline-1
+        by_release.setdefault(release, []).append(request)
+        first = min(first, release)
+        last = max(last, deadline)
+
+    pending: list[tuple[int, int, Request]] = []  # (deadline slot, rid, request)
+    for slot in range(int(first), int(last)):
+        for request in by_release.get(slot, []):
+            heapq.heappush(pending, (slot_of(request.t_end), request.rid, request))
+        served = 0
+        while pending and served < k:
+            deadline, _, request = heapq.heappop(pending)
+            if deadline <= slot:  # window closed before this slot
+                result.reject(request.rid)
+                continue
+            result.accept(
+                Allocation.for_request(request, bw=request.max_rate, sigma=slot * slot_length)
+            )
+            served += 1
+    while pending:
+        _, _, request = heapq.heappop(pending)
+        result.reject(request.rid)
+    return result

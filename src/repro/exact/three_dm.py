@@ -1,0 +1,144 @@
+"""3-Dimensional Matching instances and a backtracking solver.
+
+Theorem 1 proves MAX-REQUESTS-DEC NP-complete by reduction from 3-DM
+(Garey & Johnson [12]): given disjoint sets ``X, Y, Z`` of cardinality ``n``
+and triples ``T ⊆ X × Y × Z``, does ``T`` contain ``n`` triples no two of
+which agree in any coordinate?
+
+Coordinates here are 0-based integers in ``[0, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ThreeDMInstance", "solve_3dm", "random_3dm"]
+
+
+@dataclass(frozen=True)
+class ThreeDMInstance:
+    """A 3-DM instance: ``n`` elements per dimension plus the triple set."""
+
+    n: int
+    triples: tuple[tuple[int, int, int], ...]
+
+    def __init__(self, n: int, triples: Iterable[Sequence[int]]) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        normalised = []
+        for t in triples:
+            x, y, z = (int(v) for v in t)
+            for coord in (x, y, z):
+                if not (0 <= coord < n):
+                    raise ConfigurationError(f"triple {t} outside [0, {n})")
+            normalised.append((x, y, z))
+        if len(set(normalised)) != len(normalised):
+            raise ConfigurationError("duplicate triples")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "triples", tuple(normalised))
+
+    @property
+    def num_triples(self) -> int:
+        """|T|."""
+        return len(self.triples)
+
+    def is_matching(self, selection: Sequence[int]) -> bool:
+        """True when the selected triple indices form a perfect matching."""
+        if len(selection) != self.n:
+            return False
+        xs: set[int] = set()
+        ys: set[int] = set()
+        zs: set[int] = set()
+        for idx in selection:
+            x, y, z = self.triples[idx]
+            if x in xs or y in ys or z in zs:
+                return False
+            xs.add(x)
+            ys.add(y)
+            zs.add(z)
+        return True
+
+
+def solve_3dm(instance: ThreeDMInstance) -> tuple[int, ...] | None:
+    """Find a perfect matching by backtracking, or ``None``.
+
+    Branches on the uncovered X element with the fewest remaining candidate
+    triples (fail-first ordering), which keeps tiny instances instant and
+    moderate ones tractable.
+    """
+    n = instance.n
+    by_x: list[list[int]] = [[] for _ in range(n)]
+    for idx, (x, _, _) in enumerate(instance.triples):
+        by_x[x].append(idx)
+    if any(not cands for cands in by_x):
+        return None
+
+    used_y = [False] * n
+    used_z = [False] * n
+    chosen: list[int] = []
+    remaining_x = list(range(n))
+
+    def backtrack() -> bool:
+        if not remaining_x:
+            return True
+        # fail-first: pick the x with fewest currently feasible triples
+        def feasible_count(x: int) -> int:
+            return sum(
+                1
+                for idx in by_x[x]
+                if not used_y[instance.triples[idx][1]] and not used_z[instance.triples[idx][2]]
+            )
+
+        x = min(remaining_x, key=feasible_count)
+        remaining_x.remove(x)
+        for idx in by_x[x]:
+            _, y, z = instance.triples[idx]
+            if used_y[y] or used_z[z]:
+                continue
+            used_y[y] = used_z[z] = True
+            chosen.append(idx)
+            if backtrack():
+                return True
+            chosen.pop()
+            used_y[y] = used_z[z] = False
+        remaining_x.append(x)
+        return False
+
+    if backtrack():
+        assert instance.is_matching(chosen)
+        return tuple(sorted(chosen))
+    return None
+
+
+def random_3dm(
+    n: int,
+    num_extra: int,
+    rng: np.random.Generator,
+    *,
+    plant_matching: bool = True,
+) -> ThreeDMInstance:
+    """A random 3-DM instance.
+
+    With ``plant_matching`` (default) a hidden perfect matching is embedded,
+    then ``num_extra`` random distractor triples are added; without it, all
+    ``n + num_extra`` triples are random (solvable only by luck).
+    """
+    triples: set[tuple[int, int, int]] = set()
+    if plant_matching:
+        ys = rng.permutation(n)
+        zs = rng.permutation(n)
+        for x in range(n):
+            triples.add((x, int(ys[x]), int(zs[x])))
+    attempts = 0
+    while len(triples) < (n if plant_matching else 0) + num_extra:
+        candidate = tuple(int(v) for v in rng.integers(0, n, size=3))
+        triples.add(candidate)  # set dedups
+        attempts += 1
+        if attempts > 100 * (num_extra + 1) + 1000:
+            break  # dense instance: not enough distinct triples exist
+    return ThreeDMInstance(n, sorted(triples))

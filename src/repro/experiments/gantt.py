@@ -1,0 +1,105 @@
+"""ASCII Gantt charts and port-occupancy strips.
+
+Text renderings of a schedule: per-request bars over time (requested
+window vs granted transfer) and per-port occupancy heat strips.  Used by
+the examples and handy when debugging a heuristic's decisions.
+"""
+
+from __future__ import annotations
+
+from ..core.allocation import ScheduleResult
+from ..core.problem import ProblemInstance
+
+__all__ = ["schedule_gantt", "occupancy_strip"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def schedule_gantt(
+    problem: ProblemInstance,
+    result: ScheduleResult,
+    *,
+    width: int = 72,
+    max_rows: int = 30,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Per-request Gantt chart.
+
+    Each row shows one request: ``.`` spans the requested window, ``#``
+    the granted transfer (accepted requests), ``x`` marks the window of a
+    rejected request.  Rows are ordered by arrival; at most ``max_rows``
+    are drawn (a summary line reports the truncation).
+    """
+    requests = list(problem.requests.sorted_by_arrival())
+    if not requests:
+        return "(empty problem)"
+    span_lo, span_hi = problem.requests.time_span()
+    lo = span_lo if t0 is None else t0
+    hi = span_hi if t1 is None else t1
+    if hi <= lo:
+        return "(empty horizon)"
+
+    def col(t: float) -> int:
+        frac = (t - lo) / (hi - lo)
+        return max(0, min(width - 1, int(frac * (width - 1))))
+
+    lines = [f"gantt [{lo:.0f}s .. {hi:.0f}s], {len(requests)} requests"]
+    shown = 0
+    for request in requests:
+        if shown >= max_rows:
+            lines.append(f"... {len(requests) - shown} more requests not shown")
+            break
+        shown += 1
+        row = [" "] * width
+        a, b = col(request.t_start), col(request.t_end)
+        window_glyph = "." if request.rid in result.accepted else "x"
+        for c in range(a, b + 1):
+            row[c] = window_glyph
+        alloc = result.accepted.get(request.rid)
+        if alloc is not None:
+            for c in range(col(alloc.sigma), col(alloc.tau) + 1):
+                row[c] = "#"
+        status = "ACC" if alloc is not None else "rej"
+        lines.append(f"r{request.rid:<5d} {status} |{''.join(row)}|")
+    lines.append("legend: '#' granted transfer, '.' accepted window, 'x' rejected window")
+    return "\n".join(lines)
+
+
+def occupancy_strip(
+    problem: ProblemInstance,
+    result: ScheduleResult,
+    *,
+    width: int = 72,
+    side: str = "ingress",
+) -> str:
+    """Per-port occupancy heat strips over the demand horizon.
+
+    Each port is one row of shade glyphs: ' ' idle through '@' saturated,
+    sampled at ``width`` instants.
+    """
+    if side not in ("ingress", "egress"):
+        raise ValueError(f"side must be 'ingress' or 'egress', got {side!r}")
+    lo, hi = problem.requests.time_span()
+    if hi <= lo:
+        return "(empty horizon)"
+    ledger = result.build_ledger(problem.platform)
+    num_ports = problem.platform.num_ingress if side == "ingress" else problem.platform.num_egress
+
+    lines = [f"{side} occupancy [{lo:.0f}s .. {hi:.0f}s]"]
+    for port in range(num_ports):
+        if side == "ingress":
+            timeline = ledger.ingress_timeline(port)
+            capacity = problem.platform.bin(port)
+        else:
+            timeline = ledger.egress_timeline(port)
+            capacity = problem.platform.bout(port)
+        row = []
+        for c in range(width):
+            t = lo + (hi - lo) * (c + 0.5) / width
+            level = timeline.usage_at(t) / capacity
+            shade = _SHADES[max(0, min(len(_SHADES) - 1, int(level * (len(_SHADES) - 1) + 0.5)))]
+            row.append(shade)
+        lines.append(f"{side[:3]}{port:<3d} |{''.join(row)}|")
+    lines.append(f"legend: ' ' idle .. '@' = 100% of capacity")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Capacity planning: size the infrastructure for a target accept rate.
+
+The abstract promises a knob "to adjust network infrastructure and
+workload"; this module supplies the inverse problem a grid operator
+actually faces: *given my workload, how much access capacity do I need to
+accept a target fraction of requests?*
+
+:func:`capacity_for_accept_rate` bisects a uniform scaling factor applied
+to every port capacity, re-running the chosen scheduler on re-generated
+workloads at each probe.  Accept rate is monotone in capacity in
+expectation (not per-sample), so the search bisects on the replicated
+mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance
+from ..schedulers.base import Scheduler
+from .runner import replicate
+
+__all__ = ["PlanningResult", "capacity_for_accept_rate"]
+
+
+@dataclass(frozen=True)
+class PlanningResult:
+    """Outcome of a capacity search."""
+
+    scale: float
+    platform: Platform
+    accept_rate: float
+    evaluations: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"scale x{self.scale:.3f} -> accept {self.accept_rate:.1%} "
+            f"({self.evaluations} evaluations)"
+        )
+
+
+def _scaled(platform: Platform, scale: float) -> Platform:
+    return Platform(platform.ingress_capacity * scale, platform.egress_capacity * scale)
+
+
+def capacity_for_accept_rate(
+    base_platform: Platform,
+    make_problem: Callable[[Platform, int], ProblemInstance],
+    scheduler: Scheduler,
+    target: float,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    lo: float = 0.1,
+    hi: float = 16.0,
+    tol: float = 0.05,
+    max_iters: int = 12,
+) -> PlanningResult:
+    """Smallest uniform capacity scale achieving ``target`` accept rate.
+
+    ``make_problem(platform, seed)`` regenerates the workload against the
+    probed platform (so port-capacity clamping stays consistent).  Raises
+    ``ValueError`` when even ``hi`` cannot reach the target.
+    """
+    if not (0.0 < target <= 1.0):
+        raise ValueError(f"target accept rate must be in (0, 1], got {target}")
+
+    evaluations = 0
+
+    def accept_at(scale: float) -> float:
+        nonlocal evaluations
+        platform = _scaled(base_platform, scale)
+
+        def run(seed: int) -> dict[str, float]:
+            problem = make_problem(platform, seed)
+            return {"accept": scheduler.schedule(problem).accept_rate}
+
+        evaluations += 1
+        return replicate(run, seeds)["accept"].mean
+
+    hi_rate = accept_at(hi)
+    if hi_rate < target:
+        raise ValueError(
+            f"even x{hi:g} capacity reaches only {hi_rate:.1%} accept (target {target:.1%})"
+        )
+    lo_rate = accept_at(lo)
+    if lo_rate >= target:
+        return PlanningResult(lo, _scaled(base_platform, lo), lo_rate, evaluations)
+
+    best_scale, best_rate = hi, hi_rate
+    for _ in range(max_iters):
+        mid = (lo + hi) / 2
+        rate = accept_at(mid)
+        if rate >= target:
+            best_scale, best_rate = mid, rate
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= tol * hi:
+            break
+    return PlanningResult(best_scale, _scaled(base_platform, best_scale), best_rate, evaluations)

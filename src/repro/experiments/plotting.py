@@ -1,0 +1,82 @@
+"""ASCII line charts.
+
+No plotting library is available offline, so figure reproductions render
+as text: one character glyph per series over a scaled grid.  Good enough
+to eyeball the orderings and crossovers the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render named ``(xs, ys)`` series as a text chart.
+
+    Each series gets a glyph from a fixed cycle; a legend follows the grid.
+    """
+    points = [
+        (label, list(xs), list(ys))
+        for label, (xs, ys) in series.items()
+        if len(xs) and len(xs) == len(ys)
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+
+    all_x = [x for _, xs, _ in points for x in xs]
+    all_y = [y for _, _, ys in points for y in ys if math.isfinite(y)]
+    lo_x, hi_x = min(all_x), max(all_x)
+    lo_y = min(all_y) if y_min is None else y_min
+    hi_y = max(all_y) if y_max is None else y_max
+    if hi_x == lo_x:
+        hi_x = lo_x + 1.0
+    if hi_y == lo_y:
+        hi_y = lo_y + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, xs, ys) in enumerate(points):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = round((x - lo_x) / (hi_x - lo_x) * (width - 1))
+            row = round((y - lo_y) / (hi_y - lo_y) * (height - 1))
+            row = height - 1 - max(0, min(height - 1, row))
+            col = max(0, min(width - 1, col))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi_y:.3g}"
+    bottom_label = f"{lo_y:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}|")
+    axis = f"{lo_x:.3g}".ljust(width // 2) + f"{hi_x:.3g}".rjust(width - width // 2)
+    lines.append(" " * pad + "  " + axis)
+    lines.append(" " * pad + f"  ({y_label} vs {x_label})")
+    for idx, (label, _, _) in enumerate(points):
+        lines.append(" " * pad + f"  {_GLYPHS[idx % len(_GLYPHS)]} = {label}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Batch regeneration of every experiment's artefacts.
+
+``grid-bandwidth report --out results`` (or :func:`generate_all`) runs every
+registered experiment at its default (full) size and writes, per
+experiment, a plain-text table + chart and a markdown table — the exact
+files EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from .figures import FIGURES
+
+__all__ = ["generate_all", "DEFAULT_OVERRIDES"]
+
+#: Per-experiment keyword overrides used for the published record (the
+#: fluid baseline is the one experiment whose default size is slow).
+DEFAULT_OVERRIDES: dict[str, dict] = {
+    "tcp": {"n_requests": 400},
+}
+
+
+def generate_all(
+    out_dir: str | Path,
+    *,
+    only: Sequence[str] | None = None,
+    overrides: Mapping[str, dict] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, float]:
+    """Run experiments and write ``<out>/<name>.{txt,md}``.
+
+    Returns per-experiment wall-clock seconds.  ``only`` restricts to a
+    subset of experiment ids; unknown ids raise ``KeyError`` up front.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    overrides = dict(DEFAULT_OVERRIDES) | dict(overrides or {})
+
+    names = list(only) if only is not None else sorted(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; available: {sorted(FIGURES)}")
+
+    timings: dict[str, float] = {}
+    for name in names:
+        start = time.time()
+        table, chart = FIGURES[name](**overrides.get(name, {}))
+        text = table.to_text() + ("\n\n" + chart if chart else "") + "\n"
+        (out / f"{name}.txt").write_text(text)
+        (out / f"{name}.md").write_text(
+            table.to_markdown() + "\n\n```\n" + (chart or "(no chart)") + "\n```\n"
+        )
+        timings[name] = time.time() - start
+        if progress is not None:
+            progress(f"{name}: {timings[name]:.1f}s")
+    return timings

@@ -1,0 +1,150 @@
+"""Max-min fair rate allocation by progressive filling.
+
+The paper positions its reservation scheme against the Internet's
+statistical sharing ideal — max-min fairness [4, 18]: every flow's rate is
+raised in lockstep until a port saturates, flows through saturated ports
+freeze, and filling continues for the rest.  This module computes the
+max-min fair allocation for a set of flows over the ingress/egress
+bottleneck model (optionally with per-flow host rate limits), vectorised
+with numpy so the fluid simulator can re-solve it at every arrival and
+departure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+
+__all__ = ["maxmin_rates", "is_maxmin_fair"]
+
+_EPS = 1e-9
+
+
+def maxmin_rates(
+    platform: Platform,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    max_rates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Max-min fair rates for flows on the two-sided bottleneck model.
+
+    Parameters
+    ----------
+    platform:
+        Port capacities.
+    ingress, egress:
+        Per-flow port indices (equal-length integer arrays).
+    max_rates:
+        Optional per-flow host limits; ``None`` means unlimited hosts.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-flow rates.  Empty input yields an empty array.
+    """
+    ingress = np.asarray(ingress, dtype=np.int64)
+    egress = np.asarray(egress, dtype=np.int64)
+    if ingress.shape != egress.shape:
+        raise ConfigurationError("ingress and egress arrays must have equal length")
+    n = ingress.size
+    if n == 0:
+        return np.zeros(0)
+    if np.any(ingress < 0) or np.any(ingress >= platform.num_ingress):
+        raise ConfigurationError("ingress index outside platform")
+    if np.any(egress < 0) or np.any(egress >= platform.num_egress):
+        raise ConfigurationError("egress index outside platform")
+    if max_rates is not None:
+        max_rates = np.asarray(max_rates, dtype=np.float64)
+        if max_rates.shape != ingress.shape:
+            raise ConfigurationError("max_rates length mismatch")
+        if np.any(max_rates <= 0):
+            raise ConfigurationError("max_rates must be positive")
+
+    rates = np.zeros(n)
+    frozen = np.zeros(n, dtype=bool)
+    free_in = platform.ingress_capacity.copy()
+    free_out = platform.egress_capacity.copy()
+
+    # Every round freezes at least one flow (a port saturates, freezing all
+    # its flows, or a host limit binds, freezing that flow), so filling
+    # terminates within flows + ports + 1 rounds.
+    for _ in range(n + platform.num_ingress + platform.num_egress + 1):
+        live = ~frozen
+        if not np.any(live):
+            break
+        count_in = np.bincount(ingress[live], minlength=platform.num_ingress)
+        count_out = np.bincount(egress[live], minlength=platform.num_egress)
+
+        # Water-level increment: the tightest port share or host headroom.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share_in = np.where(count_in > 0, free_in / np.maximum(count_in, 1), np.inf)
+            share_out = np.where(count_out > 0, free_out / np.maximum(count_out, 1), np.inf)
+        delta = min(share_in.min(), share_out.min())
+        if max_rates is not None:
+            headroom = max_rates[live] - rates[live]
+            delta = min(delta, headroom.min())
+        delta = max(delta, 0.0)
+
+        rates[live] += delta
+        consumed_in = np.bincount(ingress[live], weights=np.full(int(live.sum()), delta), minlength=platform.num_ingress)
+        consumed_out = np.bincount(egress[live], weights=np.full(int(live.sum()), delta), minlength=platform.num_egress)
+        free_in -= consumed_in
+        free_out -= consumed_out
+
+        saturated_in = free_in <= _EPS * platform.ingress_capacity
+        saturated_out = free_out <= _EPS * platform.egress_capacity
+        newly_frozen = live & (saturated_in[ingress] | saturated_out[egress])
+        if max_rates is not None:
+            newly_frozen |= live & (rates >= max_rates * (1 - _EPS))
+        if not np.any(newly_frozen) and delta <= 0:
+            break  # numerical stall: nothing can grow further
+        frozen |= newly_frozen
+    return rates
+
+
+def is_maxmin_fair(
+    platform: Platform,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    rates: np.ndarray,
+    max_rates: np.ndarray | None = None,
+    rtol: float = 1e-6,
+) -> bool:
+    """Check the max-min optimality conditions of an allocation.
+
+    An allocation is max-min fair iff it is feasible and every flow is
+    *blocked*: it sits at its host limit, or crosses a saturated port on
+    which it has a maximal rate (no rate could grow without shrinking an
+    equal-or-smaller one).  Used by the property tests as an independent
+    certificate.
+    """
+    ingress = np.asarray(ingress, dtype=np.int64)
+    egress = np.asarray(egress, dtype=np.int64)
+    rates = np.asarray(rates, dtype=np.float64)
+    used_in = np.bincount(ingress, weights=rates, minlength=platform.num_ingress)
+    used_out = np.bincount(egress, weights=rates, minlength=platform.num_egress)
+    if np.any(used_in > platform.ingress_capacity * (1 + rtol)):
+        return False
+    if np.any(used_out > platform.egress_capacity * (1 + rtol)):
+        return False
+
+    sat_in = used_in >= platform.ingress_capacity * (1 - rtol)
+    sat_out = used_out >= platform.egress_capacity * (1 - rtol)
+    # max rate crossing each port
+    max_in = np.zeros(platform.num_ingress)
+    np.maximum.at(max_in, ingress, rates)
+    max_out = np.zeros(platform.num_egress)
+    np.maximum.at(max_out, egress, rates)
+
+    for k in range(rates.size):
+        if max_rates is not None and rates[k] >= max_rates[k] * (1 - rtol):
+            continue
+        i, e = ingress[k], egress[k]
+        blocked = (sat_in[i] and rates[k] >= max_in[i] * (1 - rtol)) or (
+            sat_out[e] and rates[k] >= max_out[e] * (1 - rtol)
+        )
+        if not blocked:
+            return False
+    return True

@@ -1,0 +1,49 @@
+"""Job-batch generation for the co-allocation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+from ..workload.generator import FlexibleWorkload
+from ..workload.arrivals import ArrivalProcess, PoissonArrivals
+from .jobs import GridJob
+
+__all__ = ["random_jobs"]
+
+
+def random_jobs(
+    platform: Platform,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    mean_interarrival: float = 5.0,
+    slack: float = 6.0,
+    cpu_time_range: tuple[float, float] = (600.0, 7200.0),
+    max_cpus: int = 64,
+    arrivals: ArrivalProcess | None = None,
+) -> list[GridJob]:
+    """Draw ``n`` grid jobs: a §5.3 staging transfer plus a CPU demand.
+
+    CPU times are log-uniform over ``cpu_time_range`` and CPU counts
+    uniform in ``1..max_cpus`` — batch-queue-like heterogeneity.
+    """
+    if max_cpus < 1:
+        raise ConfigurationError(f"max_cpus must be >= 1, got {max_cpus}")
+    lo, hi = cpu_time_range
+    if not (0 < lo <= hi):
+        raise ConfigurationError(f"need 0 < lo <= hi cpu_time_range, got {cpu_time_range}")
+
+    workload = FlexibleWorkload(
+        platform,
+        arrivals=arrivals or PoissonArrivals(mean_interarrival),
+        slack=slack,
+    )
+    problem = workload.generate(n, rng)
+    cpu_times = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n))
+    cpus = rng.integers(1, max_cpus + 1, size=n)
+    return [
+        GridJob(request=request, cpus=int(cpus[i]), cpu_time=float(cpu_times[i]))
+        for i, request in enumerate(problem.requests)
+    ]

@@ -1,0 +1,16 @@
+"""Long-lived (indefinite) flow allocation — the companion problem [13, 14].
+
+Steady-state rate allocation (max-min, max-throughput, proportional
+fairness) and the polynomial optimal admission of uniform long-lived
+flows via max-flow.
+"""
+
+from .admission import max_accept_uniform_longlived
+from .rates import max_throughput_rates, maxmin_rates, proportional_fair_rates
+
+__all__ = [
+    "max_accept_uniform_longlived",
+    "max_throughput_rates",
+    "maxmin_rates",
+    "proportional_fair_rates",
+]

@@ -1,0 +1,81 @@
+"""Admission of uniform long-lived flows — the polynomial case of [14].
+
+§3 recalls that scheduling uniform long-lived requests (``bw(r) = b`` for
+every flow) is solvable in polynomial time.  With a common rate ``b``,
+each port ``p`` can carry at most ``⌊B_p / b⌋`` flows, and maximising the
+accepted count becomes a degree-constrained bipartite subgraph problem —
+an integral max-flow:
+
+    source → ingress_i   (capacity ⌊B_in(i) / b⌋)
+    ingress_i → egress_e (capacity = multiplicity of requested (i, e) pairs)
+    egress_e → sink      (capacity ⌊B_out(e) / b⌋)
+
+The max-flow value is the optimal number of accepted flows; the flow
+decomposition says which.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+
+__all__ = ["max_accept_uniform_longlived"]
+
+
+def max_accept_uniform_longlived(
+    platform: Platform,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    rate: float,
+) -> np.ndarray:
+    """Optimal accept mask for uniform long-lived flows at rate ``rate``.
+
+    Returns a boolean array over the flows: an optimal (maximum
+    cardinality) subset that fits every port when each accepted flow gets
+    exactly ``rate``.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    ingress = np.asarray(ingress, dtype=np.int64)
+    egress = np.asarray(egress, dtype=np.int64)
+    if ingress.shape != egress.shape:
+        raise ConfigurationError("ingress and egress arrays must have equal length")
+    n = ingress.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if ingress.min() < 0 or ingress.max() >= platform.num_ingress:
+        raise ConfigurationError("ingress index outside platform")
+    if egress.min() < 0 or egress.max() >= platform.num_egress:
+        raise ConfigurationError("egress index outside platform")
+
+    slack = 1e-9
+    cap_in = np.floor(platform.ingress_capacity / rate + slack).astype(int)
+    cap_out = np.floor(platform.egress_capacity / rate + slack).astype(int)
+
+    graph = nx.DiGraph()
+    for i in range(platform.num_ingress):
+        if cap_in[i] > 0:
+            graph.add_edge("s", ("in", i), capacity=int(cap_in[i]))
+    for e in range(platform.num_egress):
+        if cap_out[e] > 0:
+            graph.add_edge(("out", e), "t", capacity=int(cap_out[e]))
+
+    pair_flows: dict[tuple[int, int], list[int]] = {}
+    for idx in range(n):
+        pair_flows.setdefault((int(ingress[idx]), int(egress[idx])), []).append(idx)
+    for (i, e), members in pair_flows.items():
+        graph.add_edge(("in", i), ("out", e), capacity=len(members))
+
+    if "s" not in graph or "t" not in graph:
+        return np.zeros(n, dtype=bool)
+    _, flow = nx.maximum_flow(graph, "s", "t")
+
+    accepted = np.zeros(n, dtype=bool)
+    for (i, e), members in pair_flows.items():
+        units = flow.get(("in", i), {}).get(("out", e), 0)
+        for idx in members[:units]:
+            accepted[idx] = True
+    return accepted

@@ -1,0 +1,121 @@
+"""Rate allocation for long-lived (indefinite) flows.
+
+§2.1 contrasts the paper's short-lived requests with the *long-lived*
+request problem of the companion papers [13, 14]: flows of unbounded
+duration whose rates — not windows — are the decision variables.  Three
+classical allocation objectives over the same two-sided bottleneck model:
+
+- **max-min fairness** — re-exported from :mod:`repro.fairness.maxmin`;
+- **maximum throughput** — an LP (``maximise Σ x`` under port capacities
+  and host limits), which may starve flows crossing busy ports;
+- **proportional fairness** — ``maximise Σ log x``, the classic compromise
+  (Kelly), solved with projected SLSQP.
+
+These give the steady-state baselines a grid operator would compare the
+windowed reservation system against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import LinearConstraint, linprog, minimize
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+from ..fairness.maxmin import maxmin_rates
+
+__all__ = ["max_throughput_rates", "proportional_fair_rates", "maxmin_rates"]
+
+
+def _incidence(platform: Platform, ingress: np.ndarray, egress: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Port-flow incidence matrix and capacity vector."""
+    n = ingress.size
+    m = platform.num_ingress
+    k = platform.num_egress
+    a = np.zeros((m + k, n))
+    a[ingress, np.arange(n)] = 1.0
+    a[m + egress, np.arange(n)] = 1.0
+    caps = np.concatenate([platform.ingress_capacity, platform.egress_capacity])
+    return a, caps
+
+
+def _validate(platform: Platform, ingress: np.ndarray, egress: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    ingress = np.asarray(ingress, dtype=np.int64)
+    egress = np.asarray(egress, dtype=np.int64)
+    if ingress.shape != egress.shape:
+        raise ConfigurationError("ingress and egress arrays must have equal length")
+    if ingress.size and (ingress.min() < 0 or ingress.max() >= platform.num_ingress):
+        raise ConfigurationError("ingress index outside platform")
+    if egress.size and (egress.min() < 0 or egress.max() >= platform.num_egress):
+        raise ConfigurationError("egress index outside platform")
+    return ingress, egress
+
+
+def max_throughput_rates(
+    platform: Platform,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    max_rates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Throughput-maximising rates (LP).  May assign zero to some flows."""
+    ingress, egress = _validate(platform, ingress, egress)
+    n = ingress.size
+    if n == 0:
+        return np.zeros(0)
+    a, caps = _incidence(platform, ingress, egress)
+    upper = np.full(n, np.inf) if max_rates is None else np.asarray(max_rates, dtype=np.float64)
+    res = linprog(
+        c=-np.ones(n),
+        A_ub=a,
+        b_ub=caps,
+        bounds=list(zip(np.zeros(n), upper)),
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"throughput LP failed: {res.message}")
+    return np.maximum(res.x, 0.0)
+
+
+def proportional_fair_rates(
+    platform: Platform,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    max_rates: np.ndarray | None = None,
+    *,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Proportionally fair rates: ``argmax Σ log x`` under the capacities.
+
+    Solved with SLSQP from the max-min point (a strictly feasible interior
+    start).  For the single-bottleneck case this reduces to the equal
+    split, which the tests assert.
+    """
+    ingress, egress = _validate(platform, ingress, egress)
+    n = ingress.size
+    if n == 0:
+        return np.zeros(0)
+    a, caps = _incidence(platform, ingress, egress)
+    upper = None if max_rates is None else np.asarray(max_rates, dtype=np.float64)
+
+    x0 = maxmin_rates(platform, ingress, egress, upper)
+    x0 = np.maximum(x0 * 0.95, 1e-6)  # strictly interior start
+
+    def objective(x: np.ndarray) -> float:
+        return -float(np.sum(np.log(np.maximum(x, 1e-12))))
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        return -1.0 / np.maximum(x, 1e-12)
+
+    bounds = [(1e-9, np.inf if upper is None else float(upper[i])) for i in range(n)]
+    res = minimize(
+        objective,
+        x0,
+        jac=gradient,
+        bounds=bounds,
+        constraints=[LinearConstraint(a, -np.inf, caps)],
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": tol},
+    )
+    if not res.success:  # pragma: no cover - SLSQP converges on these LAPs
+        raise RuntimeError(f"proportional fairness solver failed: {res.message}")
+    return np.maximum(res.x, 0.0)

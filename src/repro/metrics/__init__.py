@@ -1,0 +1,15 @@
+"""Evaluation metrics and report tables."""
+
+from .collector import MetricsReport, evaluate, jain_index
+from .report import Table
+from .steady import accept_rate_series, steady_accept_rate, steady_window
+
+__all__ = [
+    "MetricsReport",
+    "Table",
+    "accept_rate_series",
+    "evaluate",
+    "jain_index",
+    "steady_accept_rate",
+    "steady_window",
+]

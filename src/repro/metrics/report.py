@@ -1,0 +1,87 @@
+"""Tabular report rendering (plain text, markdown, CSV).
+
+No plotting dependencies are available offline, so every experiment's
+output is a :class:`Table`: aligned plain text for the terminal, markdown
+for EXPERIMENTS.md, CSV for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) < 1 and value != 0:
+            return f"{value:.4f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented result table."""
+
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; must match the header width."""
+        if len(values) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of the named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned plain-text rendering."""
+        cells = [self.headers] + [[_render(v) for v in row] for row in self.rows]
+        widths = [max(len(row[c]) for row in cells) for c in range(len(self.headers))]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_render(v) for v in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (headers + rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save_csv(self, path: str | Path) -> None:
+        """Write the CSV rendering to ``path``."""
+        Path(path).write_text(self.to_csv())
+
+    def __str__(self) -> str:
+        return self.to_text()

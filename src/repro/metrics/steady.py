@@ -1,0 +1,71 @@
+"""Steady-state estimation: warm-up/cool-down trimming and time series.
+
+A finite simulated trace is biased at both ends: early requests face an
+empty network (inflated accept rate) and the last arrivals compete with
+the accumulated backlog but nothing after them.  These helpers estimate
+steady-state quantities by trimming the arrival horizon, and expose the
+accept-rate time series so the transient is visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import ScheduleResult
+from ..core.problem import ProblemInstance
+
+__all__ = ["steady_window", "steady_accept_rate", "accept_rate_series"]
+
+
+def steady_window(problem: ProblemInstance, trim: float = 0.2) -> tuple[float, float]:
+    """Arrival-time window with a ``trim`` fraction cut from each end."""
+    if not (0.0 <= trim < 0.5):
+        raise ValueError(f"trim must be in [0, 0.5), got {trim}")
+    arrivals = np.array([r.t_start for r in problem.requests])
+    if arrivals.size == 0:
+        return (0.0, 0.0)
+    return (
+        float(np.quantile(arrivals, trim)),
+        float(np.quantile(arrivals, 1.0 - trim)),
+    )
+
+
+def steady_accept_rate(
+    problem: ProblemInstance, result: ScheduleResult, trim: float = 0.2
+) -> float:
+    """Accept rate among requests arriving inside the trimmed window."""
+    lo, hi = steady_window(problem, trim)
+    considered = accepted = 0
+    for request in problem.requests:
+        if lo <= request.t_start <= hi:
+            considered += 1
+            accepted += request.rid in result.accepted
+    return accepted / considered if considered else 0.0
+
+
+def accept_rate_series(
+    problem: ProblemInstance, result: ScheduleResult, num_bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accept rate per arrival-time bin: ``(bin centres, rates)``.
+
+    Bins with no arrivals get ``nan`` so plots show gaps rather than
+    fabricated zeros.
+    """
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    arrivals = np.array([r.t_start for r in problem.requests])
+    if arrivals.size == 0:
+        return (np.zeros(0), np.zeros(0))
+    accepted = np.array([r.rid in result.accepted for r in problem.requests], dtype=float)
+    lo, hi = float(arrivals.min()), float(arrivals.max())
+    if hi <= lo:
+        return (np.array([lo]), np.array([accepted.mean()]))
+    edges = np.linspace(lo, hi, num_bins + 1)
+    which = np.clip(np.searchsorted(edges, arrivals, side="right") - 1, 0, num_bins - 1)
+    centres = (edges[:-1] + edges[1:]) / 2
+    rates = np.full(num_bins, np.nan)
+    for b in range(num_bins):
+        mask = which == b
+        if mask.any():
+            rates[b] = accepted[mask].mean()
+    return centres, rates

@@ -1,0 +1,8 @@
+"""Round-based bottleneck congestion model validating the session-level
+abstraction (§5.4): enforced reservations deliver their granted rate while
+AIMD cross-traffic oscillates around the leftovers.
+"""
+
+from .link import AimdFlow, BottleneckLink, LinkResult, LinkSimulation, PacedFlow
+
+__all__ = ["AimdFlow", "BottleneckLink", "LinkResult", "LinkSimulation", "PacedFlow"]

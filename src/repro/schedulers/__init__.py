@@ -1,0 +1,55 @@
+"""Admission and bandwidth-sharing heuristics (paper §4 and §5).
+
+Rigid-request heuristics: :class:`FCFSRigid` and the Algorithm 1 SLOTS
+family (:func:`cumulated_slots`, :func:`minbw_slots`, :func:`minvol_slots`).
+Flexible-request heuristics: :class:`GreedyFlexible` (Algorithm 2) and
+:class:`WindowFlexible` (Algorithm 3), parameterised by a
+:class:`BandwidthPolicy`.
+"""
+
+from .advance import EarliestStartFlexible
+from .base import Scheduler
+from .costs import (
+    ArrivalCost,
+    CumulatedCost,
+    MinBwCost,
+    MinVolCost,
+    SlotCost,
+    WeightedCost,
+    priority_factor,
+)
+from .flexible import GreedyFlexible, WindowFlexible
+from .localsearch import LocalSearchScheduler
+from .policies import BandwidthPolicy, FractionOfMaxPolicy, FullRatePolicy, MinRatePolicy
+from .registry import available_schedulers, make_scheduler, register_scheduler
+from .retry import RetryGreedyFlexible
+from .rigid import FCFSRigid, SlotsScheduler, cumulated_slots, fifo_slots, minbw_slots, minvol_slots
+
+__all__ = [
+    "ArrivalCost",
+    "BandwidthPolicy",
+    "CumulatedCost",
+    "EarliestStartFlexible",
+    "FCFSRigid",
+    "FractionOfMaxPolicy",
+    "FullRatePolicy",
+    "GreedyFlexible",
+    "LocalSearchScheduler",
+    "MinBwCost",
+    "MinRatePolicy",
+    "MinVolCost",
+    "RetryGreedyFlexible",
+    "Scheduler",
+    "SlotCost",
+    "SlotsScheduler",
+    "WeightedCost",
+    "WindowFlexible",
+    "available_schedulers",
+    "cumulated_slots",
+    "fifo_slots",
+    "make_scheduler",
+    "minbw_slots",
+    "minvol_slots",
+    "priority_factor",
+    "register_scheduler",
+]

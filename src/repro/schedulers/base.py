@@ -1,0 +1,36 @@
+"""Scheduler interface.
+
+A scheduler consumes a :class:`ProblemInstance` and returns a
+:class:`ScheduleResult` deciding every request.  Offline heuristics (the
+rigid SLOTS family) may inspect the whole request set; online heuristics
+(GREEDY, WINDOW) are written to only ever look at requests whose arrival
+time has passed, matching the paper's "no a-priori knowledge" property
+(§5).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.allocation import ScheduleResult
+from ..core.problem import ProblemInstance
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for all admission/bandwidth-sharing heuristics."""
+
+    #: Human-readable identifier used in results, the registry and reports.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, problem: ProblemInstance) -> ScheduleResult:
+        """Decide every request of ``problem``; never mutates the instance."""
+
+    def _new_result(self, **meta) -> ScheduleResult:
+        """Construct an empty result stamped with this scheduler's name."""
+        return ScheduleResult(scheduler=self.name, meta=meta)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,86 @@
+"""Bandwidth assignment policies (paper §2.3, §5.1).
+
+When a flexible request is accepted, the scheduler must pick ``bw(r)`` in
+``[MinRate, MaxRate]``.  The paper studies two families:
+
+- **MIN BW** — grant exactly the rate needed to meet the deadline from the
+  actual start time (``MinRate`` when started on arrival).  Maximises the
+  chance of acceptance but transfers finish as late as allowed.
+- **f × MaxRate** — grant ``max(f × MaxRate, MinRate)`` for a tuning factor
+  ``f ∈ (0, 1]``.  Transfers finish sooner (releasing CPU/disk earlier, the
+  grid-computing motivation of §2.3) at the price of a possibly lower
+  accept rate.
+
+A policy returns the rate to grant for a request started at ``start``, or
+``None`` when no admissible rate exists (the deadline can no longer be met
+within ``MaxRate``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.request import Request
+
+__all__ = ["BandwidthPolicy", "MinRatePolicy", "FractionOfMaxPolicy", "FullRatePolicy"]
+
+
+class BandwidthPolicy(abc.ABC):
+    """Maps an accepted request (and its actual start time) to a rate."""
+
+    #: Identifier used in result metadata and figure legends.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def assign(self, request: Request, start: float | None = None) -> float | None:
+        """Rate to grant when ``request`` starts at ``start`` (default
+        ``t_s``); ``None`` when the deadline is no longer reachable."""
+
+    def _deadline_rate(self, request: Request, start: float | None) -> float | None:
+        """Rate needed to meet the deadline from ``start``; ``None`` when the
+        deadline is unreachable even at ``MaxRate``."""
+        needed = request.min_rate if start is None else request.rate_for_deadline(start)
+        # RATE_TOLERANCE-scale slack: a request started exactly on time must
+        # remain admissible despite float rounding in rate_for_deadline.
+        if needed > request.max_rate * (1 + 1e-9):
+            return None
+        return min(needed, request.max_rate)
+
+
+@dataclass(frozen=True)
+class MinRatePolicy(BandwidthPolicy):
+    """Grant the minimum admissible rate (the paper's MIN BW policy)."""
+
+    name: str = "min-bw"
+
+    def assign(self, request: Request, start: float | None = None) -> float | None:
+        return self._deadline_rate(request, start)
+
+
+@dataclass(frozen=True)
+class FractionOfMaxPolicy(BandwidthPolicy):
+    """Grant ``max(f × MaxRate, MinRate)`` (paper §2.3).
+
+    ``f = 1`` grants every accepted request its full host rate — the setting
+    of the Figure 5 heavy-load experiment.
+    """
+
+    f: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.f <= 1.0):
+            raise ConfigurationError(f"tuning factor f must be in (0, 1], got {self.f}")
+        object.__setattr__(self, "name", f"f={self.f:g}")
+
+    def assign(self, request: Request, start: float | None = None) -> float | None:
+        floor = self._deadline_rate(request, start)
+        if floor is None:
+            return None
+        return min(max(self.f * request.max_rate, floor), request.max_rate)
+
+
+def FullRatePolicy() -> FractionOfMaxPolicy:
+    """``f = 1``: every accepted request gets its full ``MaxRate``."""
+    return FractionOfMaxPolicy(1.0)

@@ -1,0 +1,160 @@
+"""Heuristics for short-lived **rigid** requests (paper §4).
+
+A rigid request must run over exactly its requested window at exactly its
+window-implied rate; the scheduler only decides accept/reject.
+
+- :class:`FCFSRigid` (§4.1): requests considered in order of start time
+  (ties: smallest bandwidth first); accepted iff the fixed rate fits on
+  both ports over the whole window.  The paper's "FIFO" baseline.
+- :class:`SlotsScheduler` (§4.2, Algorithm 1): the scheduling horizon is
+  sliced at every request start/finish; within each slice active requests
+  are served in non-decreasing cost order, and a request that fails in any
+  slice of its window is discarded (its earlier slices are released).
+  Instantiated with the three published cost factors as CUMULATED-SLOTS,
+  MINBW-SLOTS and MINVOL-SLOTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.allocation import Allocation, ScheduleResult
+from ..core.errors import ConfigurationError
+from ..core.ledger import CAPACITY_SLACK, PortLedger
+from ..core.problem import ProblemInstance
+from ..core.request import Request
+from .base import Scheduler
+from .costs import ArrivalCost, CumulatedCost, MinBwCost, MinVolCost, SlotCost
+
+__all__ = [
+    "FCFSRigid",
+    "SlotsScheduler",
+    "cumulated_slots",
+    "fifo_slots",
+    "minbw_slots",
+    "minvol_slots",
+]
+
+
+class FCFSRigid(Scheduler):
+    """First-come-first-serve admission of rigid requests (§4.1)."""
+
+    name = "fcfs-rigid"
+
+    def schedule(self, problem: ProblemInstance) -> ScheduleResult:
+        result = self._new_result()
+        ledger = PortLedger(problem.platform)
+        for request in problem.requests.sorted_by_arrival():
+            if not request.is_rigid:
+                raise ConfigurationError(
+                    f"request {request.rid} is flexible; FCFSRigid handles rigid requests only"
+                )
+            bw = request.min_rate
+            if ledger.fits(request.ingress, request.egress, request.t_start, request.t_end, bw):
+                ledger.allocate(request.ingress, request.egress, request.t_start, request.t_end, bw)
+                result.accept(Allocation.for_request(request, bw))
+            else:
+                result.reject(request.rid, "capacity")
+        return result
+
+
+@dataclass
+class SlotsScheduler(Scheduler):
+    """Algorithm 1: time-window decomposition with a pluggable cost factor.
+
+    The horizon is cut at every requested start/finish time, producing
+    intervals in which the set of active requests is constant.  Each
+    interval is packed greedily in non-decreasing cost order against
+    per-interval port budgets ``ali``/``ale``.  A request rejected in any
+    interval of its window is removed from the problem (and from the
+    intervals it already occupied) — it is only *accepted* if it wins every
+    interval it spans.
+    """
+
+    cost: SlotCost = field(default_factory=CumulatedCost)
+
+    def __post_init__(self) -> None:
+        self.name = f"{self.cost.name}-slots"
+
+    def schedule(self, problem: ProblemInstance) -> ScheduleResult:
+        result = self._new_result(cost=self.cost.name)
+        requests = list(problem.requests)
+        for request in requests:
+            if not request.is_rigid:
+                raise ConfigurationError(
+                    f"request {request.rid} is flexible; SlotsScheduler handles rigid requests only"
+                )
+        if not requests:
+            return result
+
+        platform = problem.platform
+        breakpoints = problem.requests.breakpoints()
+        alive: dict[int, Request] = {r.rid: r for r in requests}
+        rejected: set[int] = set()
+
+        # Requests sorted by start let each interval gather its active set
+        # with a moving cursor instead of a full scan.
+        by_start = sorted(requests, key=lambda r: r.t_start)
+        cursor = 0
+        running: list[Request] = []
+
+        for t_lo, t_hi in zip(breakpoints[:-1], breakpoints[1:]):
+            while cursor < len(by_start) and by_start[cursor].t_start <= t_lo:
+                running.append(by_start[cursor])
+                cursor += 1
+            running = [r for r in running if r.t_end >= t_hi and r.rid not in rejected]
+            # Active on [t_lo, t_hi): window covers the whole interval.
+            active = [r for r in running if r.t_start <= t_lo]
+            if not active:
+                continue
+
+            # Secondary key: smallest bandwidth first (the paper's FCFS
+            # tie-break, §4.1); rid keeps the order fully deterministic.
+            active.sort(key=lambda r: (self.cost.cost(r, t_lo, t_hi, platform), r.min_rate, r.rid))
+            ali = np.zeros(platform.num_ingress)
+            ale = np.zeros(platform.num_egress)
+            for request in active:
+                bw = request.min_rate
+                cap_in = platform.bin(request.ingress)
+                cap_out = platform.bout(request.egress)
+                if (
+                    ali[request.ingress] + bw <= cap_in * (1 + CAPACITY_SLACK)
+                    and ale[request.egress] + bw <= cap_out * (1 + CAPACITY_SLACK)
+                ):
+                    ali[request.ingress] += bw
+                    ale[request.egress] += bw
+                else:
+                    # Failed in this slice: discard entirely (earlier slices
+                    # are implicitly released — the request is not accepted).
+                    rejected.add(request.rid)
+                    del alive[request.rid]
+
+        for rid in rejected:
+            result.reject(rid, "capacity")
+        for request in requests:
+            if request.rid in alive:
+                result.accept(Allocation.for_request(request, request.min_rate))
+        return result
+
+
+def fifo_slots() -> SlotsScheduler:
+    """The paper's FIFO baseline: arrival order within each slice, no
+    selective rejection — mid-window losers waste their earlier slices."""
+    return SlotsScheduler(ArrivalCost())
+
+
+def cumulated_slots() -> SlotsScheduler:
+    """The CUMULATED-SLOTS heuristic (Algorithm 1 with the §4.2 cost)."""
+    return SlotsScheduler(CumulatedCost())
+
+
+def minbw_slots() -> SlotsScheduler:
+    """The MINBW-SLOTS variant (cost = demanded bandwidth)."""
+    return SlotsScheduler(MinBwCost())
+
+
+def minvol_slots() -> SlotsScheduler:
+    """The MINVOL-SLOTS variant (cost = volume)."""
+    return SlotsScheduler(MinVolCost())

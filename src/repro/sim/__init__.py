@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate.
+
+A deterministic heap-based engine used by the fluid (max-min) baseline and
+the overlay control plane.  See :class:`Simulator`.
+"""
+
+from .engine import Simulator
+from .events import Event, EventQueue
+from .trace import EventTrace, TraceRecord
+
+__all__ = ["Event", "EventQueue", "EventTrace", "Simulator", "TraceRecord"]

@@ -1,0 +1,109 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine advances a simulation clock through an :class:`EventQueue`,
+invoking callbacks in ``(time, priority, insertion)`` order.  It underpins
+the max-min fluid simulator (:mod:`repro.fairness.fluid`) and the control
+plane (:mod:`repro.control`); the admission heuristics themselves only need
+sorted arrival processing and use lighter-weight loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from .events import Event, EventQueue
+from .trace import EventTrace
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulation driver.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value.
+    trace:
+        Optional :class:`EventTrace` receiving a record of every dispatched
+        event (useful for debugging schedulers and for the tests).
+    """
+
+    def __init__(self, start_time: float = 0.0, trace: EventTrace | None = None) -> None:
+        self.queue = EventQueue()
+        self._now = start_time
+        self.trace = trace
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events dispatched so far."""
+        return self._steps
+
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (never in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        return self.queue.push(time, callback, payload, priority)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.queue.push(self._now + delay, callback, payload, priority)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise RuntimeError(f"time went backwards: {event.time} < {self._now}")
+        self._now = event.time
+        self._steps += 1
+        if self.trace is not None:
+            self.trace.record(event)
+        event.callback(event)
+        return True
+
+    def run(self, until: float = math.inf, max_steps: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is passed, or ``max_steps``.
+
+        Events scheduled exactly at ``until`` are still dispatched.  Returns
+        the final clock value.
+        """
+        steps = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.step()
+            steps += 1
+        if next_time is not None and next_time > until:
+            self._now = max(self._now, until)
+        elif self.queue.peek_time() is None and until is not math.inf:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,77 @@
+"""Event primitives for the discrete-event simulation engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+assigned by the queue at insertion, making ordering deterministic for
+same-time events regardless of payload type.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Comparison uses ``(time, priority, seq)`` only; the callback and payload
+    never participate in ordering.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["Event"], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at ``time``; returns the (cancellable) event."""
+        event = Event(time=time, priority=priority, seq=next(self._counter), callback=callback, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,78 @@
+"""Event tracing for simulations.
+
+An :class:`EventTrace` records ``(time, label, payload)`` rows as a
+simulation dispatches events.  Traces make the online schedulers and the
+fluid simulator inspectable in tests and debuggable in examples without any
+printing inside the hot loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .events import Event
+
+__all__ = ["EventTrace", "TraceRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One dispatched event: when it fired and what it carried."""
+
+    time: float
+    label: str
+    payload: Any
+
+
+class EventTrace:
+    """An append-only record of dispatched events.
+
+    Parameters
+    ----------
+    capacity:
+        Optional bound; older records are dropped FIFO once exceeded (keeps
+        long simulations memory-bounded when only the tail matters).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._capacity = capacity
+        self._dropped = 0
+
+    def record(self, event: "Event") -> None:
+        """Record a dispatched :class:`~repro.sim.events.Event`."""
+        label = getattr(event.callback, "__name__", repr(event.callback))
+        self.append(event.time, label, event.payload)
+
+    def append(self, time: float, label: str, payload: Any = None) -> None:
+        """Record an arbitrary row (schedulers log decisions through this)."""
+        self._records.append(TraceRecord(time, label, payload))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self._dropped += overflow
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def dropped(self) -> int:
+        """Number of records evicted due to the capacity bound."""
+        return self._dropped
+
+    def filter(self, label: str) -> list[TraceRecord]:
+        """All records with the given label."""
+        return [r for r in self._records if r.label == label]
+
+    def times(self) -> list[float]:
+        """Dispatch times, in order."""
+        return [r.time for r in self._records]

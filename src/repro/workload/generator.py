@@ -1,0 +1,250 @@
+"""Workload generators producing :class:`ProblemInstance` objects.
+
+Two generator classes mirror the paper's two experiment families:
+
+- :class:`RigidWorkload` (§4.3): volume and window duration are drawn
+  independently; the fixed rate is ``bw = vol / duration``.
+- :class:`FlexibleWorkload` (§5.3): the drawn rate is the per-request host
+  limit ``MaxRate(r)``; the window is ``slack`` times the fastest possible
+  transfer, so ``MinRate = MaxRate / slack``.
+
+Convenience constructors :func:`paper_rigid_workload` and
+:func:`paper_flexible_workload` bake in the published parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance
+from ..core.request import Request, RequestSet
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .durations import DurationDistribution, paper_durations
+from .load import mean_interarrival_for_load
+from .matrix import PairSelector, UniformPairs
+from .rates import RateDistribution, paper_rates
+from .volumes import PaperVolumes, VolumeDistribution
+
+__all__ = [
+    "RigidWorkload",
+    "SlottedRigidWorkload",
+    "FlexibleWorkload",
+    "paper_rigid_workload",
+    "paper_flexible_workload",
+]
+
+
+@dataclass
+class RigidWorkload:
+    """Generates rigid requests: fixed bandwidth, window equal to transfer.
+
+    For each request, a volume and a window duration are drawn
+    *independently*; the fixed rate follows as ``bw = vol / duration`` so
+    that ``MinRate = MaxRate = bw`` (a rigid request in the paper's sense).
+    A drawn window too short for the bottleneck port (``bw`` above capacity)
+    is stretched to the fastest feasible transfer, ``vol / capacity``.
+
+    The independence of volume and window reproduces §4.4's MINVOL
+    pathology: a small-volume request may carry a small window and thus a
+    huge bandwidth demand.
+    """
+
+    platform: Platform
+    arrivals: ArrivalProcess
+    volumes: VolumeDistribution = field(default_factory=PaperVolumes)
+    durations: DurationDistribution = field(default_factory=paper_durations)
+    pairs: PairSelector = field(default_factory=UniformPairs)
+
+    def generate(self, n: int, rng: np.random.Generator, t0: float = 0.0) -> ProblemInstance:
+        """Draw ``n`` rigid requests."""
+        if n < 0:
+            raise ConfigurationError(f"cannot generate {n} requests")
+        t_start = self.arrivals.generate(n, rng, t0)
+        volume = self.volumes.generate(n, rng)
+        duration = self.durations.generate(n, rng)
+        ingress, egress = self.pairs.generate(self.platform, n, rng)
+        cap = np.minimum(
+            self.platform.ingress_capacity[ingress],
+            self.platform.egress_capacity[egress],
+        )
+        # A window shorter than the fastest feasible transfer could never be
+        # served; stretch it to the bottleneck-capacity transfer time.
+        duration = np.maximum(duration, volume / cap)
+        requests = [
+            Request.rigid(
+                rid=i,
+                ingress=int(ingress[i]),
+                egress=int(egress[i]),
+                volume=float(volume[i]),
+                t_start=float(t_start[i]),
+                t_end=float(t_start[i] + duration[i]),
+            )
+            for i in range(n)
+        ]
+        return ProblemInstance(self.platform, RequestSet(requests))
+
+
+@dataclass
+class SlottedRigidWorkload:
+    """Rigid requests whose windows snap to a slotted time grid (§4.2).
+
+    The paper's decomposition uses "pre-defined starting and finishing
+    times as reference points" (Figure 3): windows start on slot boundaries
+    and span an integral number of slots.  Requests arrive Poisson but their
+    window opens at the next slot boundary; the span is drawn uniformly from
+    ``1..max_slots`` and stretched when the implied rate would exceed the
+    bottleneck port.
+
+    Slotting keeps the decomposition intervals commensurate with the
+    windows, which is what lets the CUMULATED cost's priority term act as
+    *protection of running requests* rather than degenerate into pure
+    arrival-order preference.
+    """
+
+    platform: Platform
+    arrivals: ArrivalProcess
+    volumes: VolumeDistribution = field(default_factory=PaperVolumes)
+    pairs: PairSelector = field(default_factory=UniformPairs)
+    slot: float = 600.0
+    max_slots: int = 12
+
+    def generate(self, n: int, rng: np.random.Generator, t0: float = 0.0) -> ProblemInstance:
+        """Draw ``n`` slotted rigid requests."""
+        if n < 0:
+            raise ConfigurationError(f"cannot generate {n} requests")
+        if self.slot <= 0:
+            raise ConfigurationError(f"slot length must be positive, got {self.slot}")
+        if self.max_slots < 1:
+            raise ConfigurationError(f"max_slots must be >= 1, got {self.max_slots}")
+        arrival = self.arrivals.generate(n, rng, t0)
+        t_start = np.ceil(arrival / self.slot) * self.slot
+        volume = self.volumes.generate(n, rng)
+        spans = rng.integers(1, self.max_slots + 1, size=n)
+        ingress, egress = self.pairs.generate(self.platform, n, rng)
+        cap = np.minimum(
+            self.platform.ingress_capacity[ingress],
+            self.platform.egress_capacity[egress],
+        )
+        # Stretch windows whose implied rate would exceed the bottleneck.
+        min_spans = np.ceil(volume / (cap * self.slot)).astype(np.int64)
+        spans = np.maximum(spans, min_spans)
+        requests = [
+            Request.rigid(
+                rid=i,
+                ingress=int(ingress[i]),
+                egress=int(egress[i]),
+                volume=float(volume[i]),
+                t_start=float(t_start[i]),
+                t_end=float(t_start[i] + spans[i] * self.slot),
+            )
+            for i in range(n)
+        ]
+        return ProblemInstance(self.platform, RequestSet(requests))
+
+
+@dataclass
+class FlexibleWorkload:
+    """Generates flexible requests: a host rate limit plus a window slack.
+
+    The §5.3 description ("randomly generating bandwidth requests between
+    10 MB/s and 1 GB/s") is read as the per-request host transmission limit
+    ``MaxRate(r)`` — the only reading under which the ``f × MaxRate``
+    policies grant heterogeneous rates and the WINDOW cost function has
+    anything to discriminate on.  The transmission window is then
+    ``slack × vol / MaxRate`` long (the user asks for ``slack`` times the
+    fastest possible transfer), so ``MinRate = MaxRate / slack``.
+
+    ``slack`` must be at least 1; larger values give the scheduler more
+    temporal freedom (and make the MIN BW policy commit less bandwidth).
+    """
+
+    platform: Platform
+    arrivals: ArrivalProcess
+    volumes: VolumeDistribution = field(default_factory=PaperVolumes)
+    host_rates: RateDistribution = field(default_factory=paper_rates)
+    pairs: PairSelector = field(default_factory=UniformPairs)
+    slack: float = 6.0
+
+    def generate(self, n: int, rng: np.random.Generator, t0: float = 0.0) -> ProblemInstance:
+        """Draw ``n`` flexible requests."""
+        if n < 0:
+            raise ConfigurationError(f"cannot generate {n} requests")
+        if self.slack < 1.0:
+            raise ConfigurationError(f"slack must be >= 1, got {self.slack}")
+        t_start = self.arrivals.generate(n, rng, t0)
+        volume = self.volumes.generate(n, rng)
+        max_rate = self.host_rates.generate(n, rng)
+        ingress, egress = self.pairs.generate(self.platform, n, rng)
+        cap = np.minimum(
+            self.platform.ingress_capacity[ingress],
+            self.platform.egress_capacity[egress],
+        )
+        # A host rate above the bottleneck port could never be granted.
+        max_rate = np.minimum(max_rate, cap)
+        window = self.slack * volume / max_rate
+        requests = [
+            Request(
+                rid=i,
+                ingress=int(ingress[i]),
+                egress=int(egress[i]),
+                volume=float(volume[i]),
+                t_start=float(t_start[i]),
+                t_end=float(t_start[i] + window[i]),
+                max_rate=float(max_rate[i]),
+            )
+            for i in range(n)
+        ]
+        return ProblemInstance(self.platform, RequestSet(requests))
+
+
+def paper_rigid_workload(
+    load: float,
+    n_requests: int,
+    seed: int,
+    platform: Platform | None = None,
+    slot: float = 300.0,
+    max_slots: int = 24,
+) -> ProblemInstance:
+    """The §4.3 rigid workload at a target load.
+
+    10×10 ports at 1 GB/s, paper volume set, windows on a slotted grid
+    (§4.2's "pre-defined starting and finishing times"), Poisson arrivals
+    calibrated so the steady-state load matches ``load``.
+    """
+    platform = platform or Platform.paper_platform()
+    volumes = PaperVolumes()
+    mean_gap = mean_interarrival_for_load(platform, load, volumes.mean())
+    workload = SlottedRigidWorkload(
+        platform=platform,
+        arrivals=PoissonArrivals(mean_gap),
+        volumes=volumes,
+        slot=slot,
+        max_slots=max_slots,
+    )
+    return workload.generate(n_requests, np.random.default_rng(seed))
+
+
+def paper_flexible_workload(
+    mean_interarrival: float,
+    n_requests: int,
+    seed: int,
+    platform: Platform | None = None,
+    slack: float = 6.0,
+) -> ProblemInstance:
+    """The §5.3 flexible workload for a given mean inter-arrival time.
+
+    10×10 ports at 1 GB/s, paper volume set, host rates uniform on
+    [10 MB/s, 1 GB/s] (fastest transfers from tens of seconds to ~a day),
+    windows ``slack`` times the fastest transfer.
+    """
+    platform = platform or Platform.paper_platform()
+    workload = FlexibleWorkload(
+        platform=platform,
+        arrivals=PoissonArrivals(mean_interarrival),
+        slack=slack,
+    )
+    return workload.generate(n_requests, np.random.default_rng(seed))

@@ -1,0 +1,167 @@
+"""Traffic matrices: how requests pick their (ingress, egress) pair.
+
+The paper's simulations pick pairs uniformly among distinct points (§4.3).
+A hotspot selector is provided for the "relieving tentative hot spots"
+direction the conclusion sketches: some ports attract a disproportionate
+share of the traffic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+
+__all__ = ["PairSelector", "UniformPairs", "HotspotPairs", "GravityPairs", "FixedPair"]
+
+
+class PairSelector(abc.ABC):
+    """Draws (ingress, egress) index pairs for a platform."""
+
+    @abc.abstractmethod
+    def generate(
+        self, platform: Platform, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return arrays ``(ingress, egress)`` of length ``n``."""
+
+
+@dataclass(frozen=True)
+class UniformPairs(PairSelector):
+    """Uniform pairs; with ``exclude_same_index`` (default) a request never
+    connects a site to itself (the paper's "any pair of different points")."""
+
+    exclude_same_index: bool = True
+
+    def generate(
+        self, platform: Platform, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        m = platform.num_ingress
+        k = platform.num_egress
+        if self.exclude_same_index and m == 1 and k == 1:
+            raise ConfigurationError("cannot exclude same-index pairs on a 1x1 platform")
+        ingress = rng.integers(0, m, size=n)
+        egress = rng.integers(0, k, size=n)
+        if self.exclude_same_index:
+            clash = ingress == egress
+            while np.any(clash):
+                egress[clash] = rng.integers(0, k, size=int(clash.sum()))
+                clash = ingress == egress
+        return ingress.astype(np.int64), egress.astype(np.int64)
+
+
+class HotspotPairs(PairSelector):
+    """Weighted pair selection: hotspot ports receive more requests.
+
+    Parameters
+    ----------
+    ingress_weights, egress_weights:
+        Relative popularity of each port; ``None`` means uniform.
+    exclude_same_index:
+        Re-draw the egress when it matches the ingress index.
+    """
+
+    def __init__(
+        self,
+        ingress_weights: Sequence[float] | None = None,
+        egress_weights: Sequence[float] | None = None,
+        exclude_same_index: bool = True,
+    ) -> None:
+        self._win = None if ingress_weights is None else np.asarray(ingress_weights, dtype=np.float64)
+        self._wout = None if egress_weights is None else np.asarray(egress_weights, dtype=np.float64)
+        for w in (self._win, self._wout):
+            if w is not None and (w.ndim != 1 or np.any(w < 0) or w.sum() <= 0):
+                raise ConfigurationError("weights must be non-negative with positive sum")
+        self.exclude_same_index = exclude_same_index
+
+    @staticmethod
+    def _normalise(weights: np.ndarray | None, size: int) -> np.ndarray:
+        if weights is None:
+            return np.full(size, 1.0 / size)
+        if weights.size != size:
+            raise ConfigurationError(f"expected {size} weights, got {weights.size}")
+        return weights / weights.sum()
+
+    def generate(
+        self, platform: Platform, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        p_in = self._normalise(self._win, platform.num_ingress)
+        p_out = self._normalise(self._wout, platform.num_egress)
+        ingress = rng.choice(platform.num_ingress, size=n, p=p_in)
+        egress = rng.choice(platform.num_egress, size=n, p=p_out)
+        if self.exclude_same_index:
+            clash = ingress == egress
+            attempts = 0
+            while np.any(clash):
+                egress[clash] = rng.choice(platform.num_egress, size=int(clash.sum()), p=p_out)
+                clash = ingress == egress
+                attempts += 1
+                if attempts > 10_000:
+                    raise ConfigurationError(
+                        "cannot draw distinct pairs: egress weights degenerate"
+                    )
+        return ingress.astype(np.int64), egress.astype(np.int64)
+
+
+class GravityPairs(PairSelector):
+    """Gravity-model traffic: pair probability ∝ mass(src) × mass(dst).
+
+    The classic traffic-matrix model — larger sites exchange more data.
+    Masses default to the port capacities (bigger pipe ⇒ bigger site).
+    """
+
+    def __init__(
+        self,
+        masses: Sequence[float] | None = None,
+        exclude_same_index: bool = True,
+    ) -> None:
+        self._masses = None if masses is None else np.asarray(masses, dtype=np.float64)
+        if self._masses is not None and (
+            self._masses.ndim != 1 or np.any(self._masses < 0) or self._masses.sum() <= 0
+        ):
+            raise ConfigurationError("masses must be non-negative with positive sum")
+        self.exclude_same_index = exclude_same_index
+
+    def generate(
+        self, platform: Platform, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mass_in = (
+            platform.ingress_capacity if self._masses is None else self._masses
+        )
+        mass_out = (
+            platform.egress_capacity if self._masses is None else self._masses
+        )
+        if mass_in.size != platform.num_ingress or mass_out.size != platform.num_egress:
+            raise ConfigurationError(
+                f"expected {platform.num_ingress} masses, got {mass_in.size}"
+            )
+        selector = HotspotPairs(
+            ingress_weights=mass_in,
+            egress_weights=mass_out,
+            exclude_same_index=self.exclude_same_index,
+        )
+        return selector.generate(platform, n, rng)
+
+
+@dataclass(frozen=True)
+class FixedPair(PairSelector):
+    """Every request uses one fixed pair (single-pair polynomial case, §3)."""
+
+    ingress: int = 0
+    egress: int = 0
+
+    def generate(
+        self, platform: Platform, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not (0 <= self.ingress < platform.num_ingress):
+            raise ConfigurationError(f"ingress {self.ingress} outside platform")
+        if not (0 <= self.egress < platform.num_egress):
+            raise ConfigurationError(f"egress {self.egress} outside platform")
+        return (
+            np.full(n, self.ingress, dtype=np.int64),
+            np.full(n, self.egress, dtype=np.int64),
+        )

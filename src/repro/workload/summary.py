@@ -1,0 +1,76 @@
+"""Workload characterisation: summary statistics of a request set.
+
+Before trusting an experiment, look at the workload: this module renders
+the volume / rate / window / load structure of a :class:`RequestSet` as a
+table, with simple text histograms.  Used by the examples and handy when
+calibrating new scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.request import RequestSet
+from ..metrics.report import Table
+from ..units import format_bandwidth, format_duration, format_volume
+from .load import empirical_load
+
+__all__ = ["summarize", "text_histogram"]
+
+
+def _quantiles(values: np.ndarray) -> tuple[float, float, float, float, float]:
+    return tuple(float(np.quantile(values, q)) for q in (0.0, 0.25, 0.5, 0.75, 1.0))  # type: ignore[return-value]
+
+
+def summarize(requests: RequestSet, platform: Platform | None = None) -> Table:
+    """Five-number summaries of the request dimensions (plus load)."""
+    table = Table(["dimension", "min", "q25", "median", "q75", "max"], title="Workload summary")
+    if not len(requests):
+        return table
+    arrays = requests.as_arrays()
+    windows = arrays["t_end"] - arrays["t_start"]
+    gaps = np.diff(np.sort(arrays["t_start"]))
+
+    rows = [
+        ("volume", arrays["volume"], format_volume),
+        ("MinRate", arrays["min_rate"], format_bandwidth),
+        ("MaxRate", arrays["max_rate"], format_bandwidth),
+        ("window", windows, format_duration),
+    ]
+    if gaps.size:
+        rows.append(("inter-arrival", gaps, format_duration))
+    for name, values, fmt in rows:
+        q = _quantiles(np.asarray(values, dtype=np.float64))
+        table.add_row(name, *[fmt(v) for v in q])
+    if platform is not None:
+        load = empirical_load(platform, requests)
+        table.add_row("empirical load", f"{load:.2f}", "", "", "", "")
+    return table
+
+
+def text_histogram(
+    values: np.ndarray | list[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    log: bool = False,
+    title: str = "",
+) -> str:
+    """A one-column text histogram (bar of '#' per bin)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return f"{title}\n(no data)"
+    if log:
+        if np.any(arr <= 0):
+            raise ValueError("log histogram needs positive values")
+        edges = np.logspace(np.log10(arr.min()), np.log10(arr.max()), bins + 1)
+    else:
+        edges = np.linspace(arr.min(), arr.max(), bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for b in range(bins):
+        bar = "#" * int(round(counts[b] / peak * width))
+        lines.append(f"{edges[b]:>12.4g} .. {edges[b + 1]:<12.4g} |{bar} {counts[b]}")
+    return "\n".join(lines)

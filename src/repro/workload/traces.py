@@ -1,0 +1,73 @@
+"""Workload trace persistence.
+
+Request sets round-trip through JSON (human-readable, via
+:class:`ProblemInstance`), compressed ``.npz`` (compact columnar form for
+large sweeps) and CSV (interoperable with external tooling).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..core.request import Request, RequestSet
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+_COLUMNS = ("rid", "ingress", "egress", "volume", "t_start", "t_end", "max_rate")
+
+
+def save_npz(path: str | Path, requests: RequestSet) -> None:
+    """Write a request set to a compressed ``.npz`` file."""
+    arrays = requests.as_arrays()
+    np.savez_compressed(Path(path), **{c: arrays[c] for c in _COLUMNS})
+
+
+def load_npz(path: str | Path) -> RequestSet:
+    """Read a request set written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        cols = {c: data[c] for c in _COLUMNS}
+    n = cols["rid"].size
+    return RequestSet(
+        Request(
+            rid=int(cols["rid"][i]),
+            ingress=int(cols["ingress"][i]),
+            egress=int(cols["egress"][i]),
+            volume=float(cols["volume"][i]),
+            t_start=float(cols["t_start"][i]),
+            t_end=float(cols["t_end"][i]),
+            max_rate=float(cols["max_rate"][i]),
+        )
+        for i in range(n)
+    )
+
+
+def save_csv(path: str | Path, requests: RequestSet) -> None:
+    """Write a request set to CSV with a header row."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for r in requests:
+            writer.writerow([r.rid, r.ingress, r.egress, r.volume, r.t_start, r.t_end, r.max_rate])
+
+
+def load_csv(path: str | Path) -> RequestSet:
+    """Read a request set written by :func:`save_csv`."""
+    requests: list[Request] = []
+    with open(Path(path), newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            requests.append(
+                Request(
+                    rid=int(row["rid"]),
+                    ingress=int(row["ingress"]),
+                    egress=int(row["egress"]),
+                    volume=float(row["volume"]),
+                    t_start=float(row["t_start"]),
+                    t_end=float(row["t_end"]),
+                    max_rate=float(row["max_rate"]),
+                )
+            )
+    return RequestSet(requests)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-figure"])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.scheduler == "window"
+        assert args.t_step == 400.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "cumulated-slots" in out
+
+    def test_run_small_figure(self, capsys):
+        code = main(["run", "fig5", "--requests", "100", "--seeds", "0", "--no-chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            ["run", "fig4", "--requests", "100", "--seeds", "0", "--csv", str(csv_path), "--no-chart"]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "load" in csv_path.read_text().splitlines()[0]
+
+    def test_run_chart_printed(self, capsys):
+        main(["run", "fig5", "--requests", "100", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert "|" in out  # chart grid
+
+    def test_claims_exit_code(self, capsys):
+        code = main(["claims", "--requests", "400", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert "claim" in out
+        assert code in (0, 1)
+
+    def test_schedule_flexible(self, capsys):
+        code = main(["schedule", "--scheduler", "window", "--requests", "100", "--gap", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accept rate" in out
+        assert "verified" in out
+
+    def test_schedule_rigid(self, capsys):
+        code = main(["schedule", "--scheduler", "cumulated-slots", "--requests", "100", "--load", "4"])
+        assert code == 0
+        assert "accept rate" in capsys.readouterr().out
+
+    def test_schedule_policy_value(self, capsys):
+        code = main(["schedule", "--scheduler", "greedy", "--policy", "0.8", "--requests", "80"])
+        assert code == 0
+
+    def test_gantt(self, capsys):
+        code = main(["gantt", "--requests", "8", "--rows", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gantt" in out and "legend" in out
+
+    def test_gantt_with_occupancy(self, capsys):
+        code = main(["gantt", "--requests", "8", "--occupancy"])
+        assert code == 0
+        assert "occupancy" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "window", "greedy", "--requests", "120", "--seeds", "0", "1", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paired difference" in out
+        assert "p-value" in out
+
+    def test_plan(self, capsys):
+        code = main(["plan", "--target", "0.5", "--requests", "100", "--seeds", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "capacity scale" in out
+
+    def test_plan_unreachable(self, capsys):
+        code = main(["plan", "--target", "1.0", "--gap", "0.01", "--requests", "200", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert code == 1 or "capacity scale" in out

@@ -1,0 +1,176 @@
+"""Tests for the control plane: token bucket, port agents, distributed admission."""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlPlane, PortAgent, TokenBucket, enforce_series
+from repro.core import CapacityError, ConfigurationError, verify_schedule
+from repro.schedulers import FractionOfMaxPolicy, GreedyFlexible, MinRatePolicy
+from repro.workload import paper_flexible_workload
+
+
+class TestTokenBucket:
+    def test_burst_allows_initial(self):
+        tb = TokenBucket(rate=10.0, burst=100.0)
+        assert tb.offer(0.0, 100.0)
+        assert not tb.offer(0.0, 1.0)
+
+    def test_refill(self):
+        tb = TokenBucket(rate=10.0, burst=100.0)
+        tb.offer(0.0, 100.0)
+        assert not tb.offer(4.9, 50.0)
+        assert tb.offer(5.0, 50.0)
+
+    def test_never_exceeds_burst(self):
+        tb = TokenBucket(rate=10.0, burst=50.0)
+        tb.offer(0.0, 0.0)
+        tb._advance(1000.0)
+        assert tb.tokens == pytest.approx(50.0)
+
+    def test_earliest_conforming(self):
+        tb = TokenBucket(rate=10.0, burst=100.0)
+        tb.offer(0.0, 100.0)
+        assert tb.earliest_conforming(0.0, 50.0) == pytest.approx(5.0)
+        assert tb.earliest_conforming(0.0, 200.0) == float("inf")
+
+    def test_time_monotonicity_enforced(self):
+        tb = TokenBucket(rate=1.0, burst=1.0)
+        tb.offer(10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            tb.offer(5.0, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=-1.0)
+        tb = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            tb.offer(0.0, -1.0)
+
+    def test_enforce_series_long_run_rate(self):
+        # offered at 2x the bucket rate: about half the volume conforms
+        tb = TokenBucket(rate=10.0, burst=10.0)
+        times = np.arange(0.0, 1000.0, 0.5)
+        sizes = np.full(times.shape, 10.0)  # 20 MB/s offered
+        ok = enforce_series(tb, times, sizes)
+        accepted_rate = sizes[ok].sum() / times[-1]
+        assert accepted_rate == pytest.approx(10.0, rel=0.05)
+
+    def test_enforce_series_validation(self):
+        tb = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            enforce_series(tb, np.array([0.0]), np.array([1.0, 2.0]))
+
+    def test_reset(self):
+        tb = TokenBucket(rate=1.0, burst=10.0)
+        tb.offer(0.0, 10.0)
+        tb.reset(100.0)
+        assert tb.offer(100.0, 10.0)
+
+
+class TestPortAgent:
+    def test_hold_commit_release_cycle(self):
+        agent = PortAgent(100.0)
+        assert agent.hold(0.0, 60.0)
+        assert agent.free(0.0) == pytest.approx(40.0)
+        agent.commit(60.0, release_at=10.0)
+        assert agent.committed == pytest.approx(60.0)
+        assert agent.held == 0.0
+        assert agent.free(10.0) == pytest.approx(100.0)
+
+    def test_hold_rejected_when_full(self):
+        agent = PortAgent(100.0)
+        agent.hold(0.0, 80.0)
+        assert not agent.hold(0.0, 30.0)
+        assert agent.held == pytest.approx(80.0)
+
+    def test_unhold(self):
+        agent = PortAgent(100.0)
+        agent.hold(0.0, 50.0)
+        agent.unhold(50.0)
+        assert agent.free(0.0) == pytest.approx(100.0)
+
+    def test_over_unhold_raises(self):
+        agent = PortAgent(100.0)
+        agent.hold(0.0, 10.0)
+        with pytest.raises(CapacityError):
+            agent.unhold(50.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(CapacityError):
+            PortAgent(0.0)
+
+
+class TestControlPlane:
+    def test_zero_latency_matches_greedy(self):
+        """With instant signalling the plane IS Algorithm 2."""
+        for policy in (MinRatePolicy(), FractionOfMaxPolicy(1.0), FractionOfMaxPolicy(0.5)):
+            prob = paper_flexible_workload(1.0, 300, seed=17)
+            plane = ControlPlane(policy=policy, latency=0.0)
+            greedy = GreedyFlexible(policy=policy)
+            plane_result = plane.schedule(prob)
+            greedy_result = greedy.schedule(prob)
+            assert set(plane_result.accepted) == set(greedy_result.accepted)
+            verify_schedule(prob.platform, prob.requests, plane_result)
+
+    def test_latency_delays_starts(self):
+        prob = paper_flexible_workload(2.0, 200, seed=18)
+        plane = ControlPlane(policy=FractionOfMaxPolicy(1.0), latency=5.0)
+        result = plane.schedule(prob)
+        verify_schedule(prob.platform, prob.requests, result)
+        for rid, alloc in result.accepted.items():
+            assert alloc.sigma == pytest.approx(prob.requests.by_rid(rid).t_start + 10.0)
+
+    def test_latency_costs_acceptance(self):
+        prob = paper_flexible_workload(0.5, 400, seed=19)
+        fast = ControlPlane(policy=FractionOfMaxPolicy(1.0), latency=0.0).schedule(prob)
+        slow = ControlPlane(policy=FractionOfMaxPolicy(1.0), latency=30.0).schedule(prob)
+        assert slow.num_accepted <= fast.num_accepted
+
+    def test_message_count(self):
+        prob = paper_flexible_workload(5.0, 100, seed=20)
+        result = ControlPlane(latency=1.0).schedule(prob)
+        # every probed request costs 2 messages (probe + reply) at minimum,
+        # plus a commit for accepted ones; local rejects cost none
+        probed = result.meta["messages"]
+        assert probed >= 2 * result.num_accepted + result.num_accepted
+        assert result.meta["messages"] <= 3 * prob.num_requests
+
+    def test_all_decided_and_valid(self):
+        prob = paper_flexible_workload(1.0, 300, seed=21)
+        result = ControlPlane(policy=MinRatePolicy(), latency=2.0).schedule(prob)
+        assert result.num_decided == prob.num_requests
+        verify_schedule(prob.platform, prob.requests, result)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlPlane(latency=-1.0)
+
+
+class TestControlPlaneEdgeCases:
+    def test_transfer_shorter_than_latency(self):
+        """A transfer finishing before the COMMIT reaches the egress must
+        still release correctly (the max(tau, now) branch)."""
+        from repro.core import Platform, ProblemInstance, Request, RequestSet
+
+        platform = Platform.uniform(1, 1, 100.0)
+        # 100 MB at up to 100 MB/s: 1 s transfer; latency 5 s one-way
+        requests = RequestSet(
+            [
+                Request(0, 0, 0, volume=100.0, t_start=0.0, t_end=1000.0, max_rate=100.0),
+                Request(1, 0, 0, volume=100.0, t_start=50.0, t_end=1000.0, max_rate=100.0),
+            ]
+        )
+        problem = ProblemInstance(platform, requests)
+        plane = ControlPlane(policy=FractionOfMaxPolicy(1.0), latency=5.0)
+        result = plane.schedule(problem)
+        verify_schedule(problem.platform, problem.requests, result)
+        # both fit: the first's bandwidth is fully released well before 50 s
+        assert result.num_accepted == 2
+
+    def test_zero_latency_message_count(self):
+        prob = paper_flexible_workload(5.0, 50, seed=30)
+        result = ControlPlane(latency=0.0).schedule(prob)
+        # probe + reply per probed request, + commit per accepted
+        assert result.meta["messages"] >= 2 * result.num_accepted

@@ -1,0 +1,42 @@
+"""Executable documentation: the README quickstart and docs/API.md snippets.
+
+Documentation that silently rots is worse than none; these tests extract
+the fenced ``python`` blocks from the README quickstart and docs/API.md
+and execute them in one shared namespace (the API tour is written to be
+runnable top to bottom).
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+def _python_blocks(path: Path) -> list[str]:
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_runs(self, capsys):
+        blocks = _python_blocks(ROOT / "README.md")
+        assert blocks, "README has no python block"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README.md", "exec"), namespace)
+        out = capsys.readouterr().out
+        assert "accept rate:" in out
+
+
+class TestApiTour:
+    def test_all_blocks_run_in_sequence(self):
+        blocks = _python_blocks(ROOT / "docs" / "API.md")
+        assert len(blocks) >= 8
+        namespace: dict = {"np": np}
+        for k, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"docs/API.md[{k}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - the assertion is the test
+                pytest.fail(f"docs/API.md block {k} failed: {exc}\n---\n{block}")

@@ -1,0 +1,111 @@
+"""Tests for the extended studies and the capacity planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import Platform
+from repro.experiments import (
+    capacity_for_accept_rate,
+    diurnal_load,
+    localsearch_study,
+    optimality_gap_flexible,
+    rtt_unfairness_study,
+)
+from repro.schedulers import GreedyFlexible, MinRatePolicy
+from repro.workload import FlexibleWorkload, PoissonArrivals
+
+
+class TestOptimalityGap:
+    def test_fractions_bounded(self):
+        table, chart = optimality_gap_flexible(gaps=(2.0,), n_requests=30, seeds=(0,))
+        row = dict(zip(table.headers, table.rows[0]))
+        for col in ("greedy", "window", "bookahead"):
+            assert 0.0 <= row[col] <= 1.0 + 1e-9
+        assert row["bookahead"] >= row["greedy"] - 1e-9
+        assert chart
+
+
+class TestRttUnfairness:
+    def test_monotone_decreasing_shares(self):
+        table, _ = rtt_unfairness_study(rtts=(0.01, 0.05, 0.2))
+        reno = table.column("reno_share")
+        assert reno[0] == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(reno, reno[1:]))
+
+    def test_bic_fairer_than_reno(self):
+        table, _ = rtt_unfairness_study(rtts=(0.01, 0.3))
+        assert table.rows[1][2] > table.rows[1][1]  # bic share > reno share
+
+    def test_reservation_constant(self):
+        table, _ = rtt_unfairness_study()
+        assert all(v == 1.0 for v in table.column("reservation_share"))
+
+
+class TestDiurnal:
+    def test_runs_and_shapes(self):
+        table, _ = diurnal_load(amplitudes=(0.0, 0.9), n_requests=200, seeds=(0,))
+        assert len(table.rows) == 2
+        # burstier arrivals should not help acceptance
+        assert table.rows[1][1] <= table.rows[0][1] + 0.05
+
+
+class TestLocalSearchStudy:
+    def test_search_tops_fcfs(self):
+        table, _ = localsearch_study(loads=(8.0,), n_requests=60, iterations=60, seeds=(0,))
+        row = dict(zip(table.headers, table.rows[0]))
+        assert row["localsearch"] >= row["fcfs"] - 1e-9
+
+
+class TestCapacityPlanning:
+    def _make_problem(self, platform, seed):
+        workload = FlexibleWorkload(platform, PoissonArrivals(2.0))
+        return workload.generate(120, np.random.default_rng(seed))
+
+    def test_finds_scale(self):
+        base = Platform.paper_platform()
+        result = capacity_for_accept_rate(
+            base,
+            self._make_problem,
+            GreedyFlexible(policy=MinRatePolicy()),
+            target=0.8,
+            seeds=(0,),
+            max_iters=8,
+        )
+        assert result.accept_rate >= 0.8
+        assert result.scale <= 16.0
+        # verification: the returned platform indeed achieves the target
+        check = GreedyFlexible(policy=MinRatePolicy()).schedule(
+            self._make_problem(result.platform, 0)
+        )
+        assert check.accept_rate >= 0.8 - 1e-9
+
+    def test_already_sufficient(self):
+        base = Platform.paper_platform()
+        result = capacity_for_accept_rate(
+            base,
+            self._make_problem,
+            GreedyFlexible(policy=MinRatePolicy()),
+            target=0.01,
+            seeds=(0,),
+            lo=1.0,
+        )
+        assert result.scale == pytest.approx(1.0)
+
+    def test_unreachable_target(self):
+        base = Platform.uniform(2, 2, 0.001)
+        # even scaled x16 the platform is far too small for these volumes
+        with pytest.raises(ValueError, match="reaches only"):
+            capacity_for_accept_rate(
+                base,
+                self._make_problem,
+                GreedyFlexible(),
+                target=0.99,
+                seeds=(0,),
+                hi=2.0,
+            )
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            capacity_for_accept_rate(
+                Platform.paper_platform(), self._make_problem, GreedyFlexible(), target=0.0
+            )

@@ -1,0 +1,73 @@
+"""Tests for the time-indexed flexible LP upper bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Platform, ProblemInstance, Request, RequestSet
+from repro.exact import flexible_lp_bound, max_requests_rigid_exact
+from repro.schedulers import (
+    EarliestStartFlexible,
+    FractionOfMaxPolicy,
+    GreedyFlexible,
+    WindowFlexible,
+)
+from repro.workload import paper_flexible_workload, paper_rigid_workload
+
+
+def flex(rid, i, e, volume, t0, window, max_rate):
+    return Request(rid, i, e, volume=volume, t_start=t0, t_end=t0 + window, max_rate=max_rate)
+
+
+class TestFlexibleLpBound:
+    def test_unconstrained_accepts_all(self):
+        reqs = [flex(i, 0, 1, 100.0, float(i), 100.0, 50.0) for i in range(4)]
+        prob = ProblemInstance(Platform.uniform(2, 2, 1000.0), RequestSet(reqs))
+        assert flexible_lp_bound(prob) == pytest.approx(4.0, abs=1e-6)
+
+    def test_volume_limited(self):
+        # one port, horizon 10 s at 100 MB/s = 1000 MB of capacity;
+        # each request needs 600 MB in that window -> at most 1000/600
+        reqs = [flex(i, 0, 0, 600.0, 0.0, 10.0, 100.0) for i in range(3)]
+        prob = ProblemInstance(Platform.uniform(1, 1, 100.0), RequestSet(reqs))
+        bound = flexible_lp_bound(prob)
+        assert bound == pytest.approx(1000.0 / 600.0, rel=1e-6)
+
+    def test_bounds_online_heuristics(self):
+        prob = paper_flexible_workload(0.5, 80, seed=11)
+        bound = flexible_lp_bound(prob)
+        for scheduler in (
+            GreedyFlexible(),
+            WindowFlexible(t_step=200.0),
+            EarliestStartFlexible(),
+            GreedyFlexible(policy=FractionOfMaxPolicy(1.0)),
+        ):
+            assert scheduler.schedule(prob).num_accepted <= bound + 1e-6
+
+    def test_at_least_rigid_milp_on_rigid_instances(self):
+        # the flexible relaxation is looser than the rigid exact optimum
+        prob = paper_rigid_workload(8.0, 14, seed=1)
+        exact = max_requests_rigid_exact(prob).num_accepted
+        assert flexible_lp_bound(prob) >= exact - 1e-6
+
+    def test_coarsening_still_upper_bounds(self):
+        prob = paper_flexible_workload(1.0, 60, seed=12)
+        fine = flexible_lp_bound(prob, max_slots=500)
+        coarse = flexible_lp_bound(prob, max_slots=20)
+        accepted = EarliestStartFlexible().schedule(prob).num_accepted
+        assert accepted <= fine + 1e-6
+        assert fine <= coarse + 1e-6  # coarsening only loosens
+
+    def test_empty(self):
+        prob = ProblemInstance(Platform.uniform(1, 1, 10.0), RequestSet())
+        assert flexible_lp_bound(prob) == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lp_bound_property(seed):
+    """Property: the LP bound dominates every online schedule."""
+    prob = paper_flexible_workload(1.0, 40, seed=seed)
+    bound = flexible_lp_bound(prob)
+    accepted = EarliestStartFlexible().schedule(prob).num_accepted
+    assert accepted <= bound + 1e-6

@@ -1,0 +1,72 @@
+"""Tests for the ASCII Gantt / occupancy renderers."""
+
+import pytest
+
+from repro.core import Platform, ProblemInstance, RequestSet
+from repro.experiments import occupancy_strip, schedule_gantt
+from repro.schedulers import GreedyFlexible, WindowFlexible
+from repro.workload import paper_flexible_workload
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    prob = paper_flexible_workload(5.0, 30, seed=3)
+    result = WindowFlexible(t_step=200.0).schedule(prob)
+    return prob, result
+
+
+class TestGantt:
+    def test_contains_all_visible_requests(self, scheduled):
+        prob, result = scheduled
+        text = schedule_gantt(prob, result, max_rows=30)
+        for request in list(prob.requests)[:5]:
+            assert f"r{request.rid}" in text
+
+    def test_marks_accept_and_reject(self, scheduled):
+        prob, result = scheduled
+        text = schedule_gantt(prob, result, max_rows=30)
+        if result.num_accepted:
+            assert "ACC" in text and "#" in text
+        if result.num_rejected:
+            assert "rej" in text and "x" in text
+
+    def test_truncation(self, scheduled):
+        prob, result = scheduled
+        text = schedule_gantt(prob, result, max_rows=5)
+        assert "more requests not shown" in text
+
+    def test_empty(self):
+        prob = ProblemInstance(Platform.uniform(1, 1, 10.0), RequestSet())
+        assert "(empty" in schedule_gantt(prob, GreedyFlexible().schedule(prob))
+
+    def test_custom_horizon(self, scheduled):
+        prob, result = scheduled
+        text = schedule_gantt(prob, result, t0=0.0, t1=100.0)
+        assert "0s .. 100s" in text
+
+
+class TestOccupancy:
+    def test_one_row_per_port(self, scheduled):
+        prob, result = scheduled
+        text = occupancy_strip(prob, result, side="ingress")
+        rows = [line for line in text.splitlines() if line.startswith("ing") and "|" in line]
+        assert len(rows) == prob.platform.num_ingress
+
+    def test_egress_side(self, scheduled):
+        prob, result = scheduled
+        text = occupancy_strip(prob, result, side="egress")
+        rows = [line for line in text.splitlines() if line.startswith("egr") and "|" in line]
+        assert len(rows) == prob.platform.num_egress
+
+    def test_bad_side(self, scheduled):
+        prob, result = scheduled
+        with pytest.raises(ValueError):
+            occupancy_strip(prob, result, side="sideways")
+
+    def test_busy_port_shaded(self):
+        prob = paper_flexible_workload(0.2, 60, seed=4)
+        result = GreedyFlexible().schedule(prob)
+        text = occupancy_strip(prob, result)
+        # some port must show non-idle shading
+        body = "".join(line.split("|")[1] for line in text.splitlines() if "|" in line)
+        assert any(ch != " " for ch in body)

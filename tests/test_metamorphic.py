@@ -1,0 +1,183 @@
+"""Metamorphic properties of the schedulers and the verifier.
+
+These tests don't check absolute outputs but *relations* between runs:
+
+- **scale invariance** — multiplying every capacity, volume and host rate
+  by c leaves all accept/reject decisions unchanged and scales granted
+  rates by c (time is untouched);
+- **time-shift invariance** — shifting every window by Δ shifts every
+  allocation by Δ and changes nothing else;
+- **verifier sensitivity** — any single perturbation of a valid schedule
+  (rate, window, endpoint, duplication) must be caught by
+  ``verify_schedule``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Allocation,
+    Platform,
+    ProblemInstance,
+    Request,
+    RequestSet,
+    ScheduleResult,
+    ScheduleViolation,
+    verify_schedule,
+)
+from repro.schedulers import (
+    EarliestStartFlexible,
+    FractionOfMaxPolicy,
+    GreedyFlexible,
+    WindowFlexible,
+)
+from repro.workload import paper_flexible_workload
+
+SCHEDULERS = [
+    lambda: GreedyFlexible(policy=FractionOfMaxPolicy(0.7)),
+    lambda: WindowFlexible(t_step=300.0, policy=FractionOfMaxPolicy(0.7)),
+    lambda: EarliestStartFlexible(policy=FractionOfMaxPolicy(0.7)),
+]
+
+
+def _scaled_problem(problem: ProblemInstance, c: float) -> ProblemInstance:
+    platform = Platform(problem.platform.ingress_capacity * c, problem.platform.egress_capacity * c)
+    requests = RequestSet(
+        Request(
+            rid=r.rid,
+            ingress=r.ingress,
+            egress=r.egress,
+            volume=r.volume * c,
+            t_start=r.t_start,
+            t_end=r.t_end,
+            max_rate=r.max_rate * c,
+        )
+        for r in problem.requests
+    )
+    return ProblemInstance(platform, requests)
+
+
+def _shifted_problem(problem: ProblemInstance, delta: float) -> ProblemInstance:
+    requests = RequestSet(
+        Request(
+            rid=r.rid,
+            ingress=r.ingress,
+            egress=r.egress,
+            volume=r.volume,
+            t_start=r.t_start + delta,
+            t_end=r.t_end + delta,
+            max_rate=r.max_rate,
+        )
+        for r in problem.requests
+    )
+    return ProblemInstance(problem.platform, requests)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    c=st.floats(0.1, 8.0, allow_nan=False),
+    scheduler_idx=st.integers(0, len(SCHEDULERS) - 1),
+)
+def test_scale_invariance(seed, c, scheduler_idx):
+    problem = paper_flexible_workload(1.0, 60, seed=seed)
+    scheduler = SCHEDULERS[scheduler_idx]()
+    base = scheduler.schedule(problem)
+    scaled = scheduler.schedule(_scaled_problem(problem, c))
+    assert set(base.accepted) == set(scaled.accepted)
+    for rid, alloc in base.accepted.items():
+        other = scaled.accepted[rid]
+        assert other.bw == pytest.approx(alloc.bw * c, rel=1e-9)
+        assert other.sigma == pytest.approx(alloc.sigma, rel=1e-9, abs=1e-9)
+        assert other.tau == pytest.approx(alloc.tau, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    delta=st.floats(0.0, 10_000.0, allow_nan=False),
+    scheduler_idx=st.integers(0, len(SCHEDULERS) - 1),
+)
+def test_time_shift_invariance(seed, delta, scheduler_idx):
+    problem = paper_flexible_workload(1.0, 60, seed=seed)
+    scheduler = SCHEDULERS[scheduler_idx]()
+    base = scheduler.schedule(problem)
+    shifted = scheduler.schedule(_shifted_problem(problem, delta))
+    assert set(base.accepted) == set(shifted.accepted)
+    for rid, alloc in base.accepted.items():
+        other = shifted.accepted[rid]
+        assert other.sigma == pytest.approx(alloc.sigma + delta, rel=1e-9)
+        assert other.tau == pytest.approx(alloc.tau + delta, rel=1e-9)
+        assert other.bw == pytest.approx(alloc.bw, rel=1e-9)
+
+
+class TestVerifierSensitivity:
+    """Every corruption of a valid schedule must raise ScheduleViolation."""
+
+    def _valid(self):
+        problem = paper_flexible_workload(2.0, 60, seed=3)
+        result = GreedyFlexible().schedule(problem)
+        verify_schedule(problem.platform, problem.requests, result)
+        rid = next(iter(result.accepted))
+        return problem, result, rid
+
+    def _mutate(self, result, rid, **changes):
+        alloc = result.accepted[rid]
+        fields = {
+            "rid": alloc.rid,
+            "ingress": alloc.ingress,
+            "egress": alloc.egress,
+            "bw": alloc.bw,
+            "sigma": alloc.sigma,
+            "tau": alloc.tau,
+        }
+        fields.update(changes)
+        mutated = ScheduleResult(scheduler=result.scheduler)
+        for other_rid, other in result.accepted.items():
+            mutated.accepted[other_rid] = Allocation(**fields) if other_rid == rid else other
+        mutated.rejected = set(result.rejected)
+        return mutated
+
+    def test_inflated_rate(self):
+        problem, result, rid = self._valid()
+        alloc = result.accepted[rid]
+        bad = self._mutate(result, rid, bw=alloc.bw * 10)
+        with pytest.raises(ScheduleViolation):
+            verify_schedule(problem.platform, problem.requests, bad)
+
+    def test_shrunk_window(self):
+        problem, result, rid = self._valid()
+        alloc = result.accepted[rid]
+        bad = self._mutate(result, rid, tau=alloc.tau * 0.5)
+        with pytest.raises(ScheduleViolation):
+            verify_schedule(problem.platform, problem.requests, bad)
+
+    def test_wrong_port(self):
+        problem, result, rid = self._valid()
+        alloc = result.accepted[rid]
+        bad = self._mutate(result, rid, ingress=(alloc.ingress + 1) % 10)
+        with pytest.raises(ScheduleViolation):
+            verify_schedule(problem.platform, problem.requests, bad)
+
+    def test_early_start(self):
+        problem, result, rid = self._valid()
+        alloc = result.accepted[rid]
+        bad = self._mutate(result, rid, sigma=alloc.sigma - 100.0, tau=alloc.tau - 100.0)
+        with pytest.raises(ScheduleViolation):
+            verify_schedule(problem.platform, problem.requests, bad)
+
+    def test_phantom_acceptance(self):
+        problem = paper_flexible_workload(0.2, 120, seed=4)  # heavy: rejects exist
+        result = GreedyFlexible(policy=FractionOfMaxPolicy(1.0)).schedule(problem)
+        assert result.rejected
+        phantom_rid = next(iter(result.rejected))
+        request = problem.requests.by_rid(phantom_rid)
+        bad = ScheduleResult(scheduler=result.scheduler)
+        bad.accepted = dict(result.accepted)
+        bad.rejected = set(result.rejected)
+        bad.rejected.discard(phantom_rid)
+        bad.accepted[phantom_rid] = Allocation.for_request(request, request.max_rate * 100)
+        with pytest.raises(ScheduleViolation):
+            verify_schedule(problem.platform, problem.requests, bad)

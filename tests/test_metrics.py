@@ -1,0 +1,145 @@
+"""Tests for the metrics collector and report tables."""
+
+import pytest
+
+from repro.core import verify_schedule
+from repro.metrics import Table, evaluate, jain_index
+from repro.schedulers import GreedyFlexible, WindowFlexible
+from repro.workload import paper_flexible_workload
+
+
+class TestJainIndex:
+    def test_even_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_is_1_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestEvaluate:
+    def test_full_report(self):
+        prob = paper_flexible_workload(2.0, 200, seed=4)
+        result = WindowFlexible(t_step=200.0).schedule(prob)
+        verify_schedule(prob.platform, prob.requests, result)
+        report = evaluate(prob, result)
+        assert report.scheduler == result.scheduler
+        assert report.num_requests == 200
+        assert 0.0 <= report.accept_rate <= 1.0
+        assert 0.0 <= report.utilization_time_averaged <= 1.0
+        assert report.mean_wait > 0  # window decisions happen after arrival
+        assert report.max_wait >= report.mean_wait
+        assert 0 < report.mean_granted_over_max <= 1.0
+        assert 0 < report.port_jain_index <= 1.0
+        assert set(report.guaranteed) == {0.5, 0.8, 1.0}
+
+    def test_greedy_has_zero_wait(self):
+        prob = paper_flexible_workload(2.0, 200, seed=4)
+        report = evaluate(prob, GreedyFlexible().schedule(prob))
+        assert report.mean_wait == pytest.approx(0.0)
+
+    def test_guaranteed_monotone_in_f(self):
+        prob = paper_flexible_workload(2.0, 300, seed=5)
+        report = evaluate(prob, GreedyFlexible().schedule(prob), f_values=(0.2, 0.5, 1.0))
+        assert report.guaranteed[0.2] >= report.guaranteed[0.5] >= report.guaranteed[1.0]
+
+    def test_as_dict_flat(self):
+        prob = paper_flexible_workload(2.0, 50, seed=6)
+        report = evaluate(prob, GreedyFlexible().schedule(prob))
+        flat = report.as_dict()
+        assert "guaranteed_f0.5" in flat
+        assert flat["accept_rate"] == report.accept_rate
+
+
+class TestTable:
+    def _table(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("a", 1.5)
+        t.add_row("b", 0.25)
+        return t
+
+    def test_text(self):
+        text = self._table().to_text()
+        assert "demo" in text
+        assert "a" in text and "0.2500" in text
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert md.count("|") > 6
+        assert "---" in md
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = self._table()
+        path = tmp_path / "t.csv"
+        t.save_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert len(lines) == 3
+
+    def test_column(self):
+        assert self._table().column("name") == ["a", "b"]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            self._table().add_row("only-one")
+
+
+class TestSteadyState:
+    def _scheduled(self, gap=0.5, n=400):
+        prob = paper_flexible_workload(gap, n, seed=11)
+        return prob, GreedyFlexible().schedule(prob)
+
+    def test_steady_window_trims(self):
+        from repro.metrics import steady_window
+
+        prob, _ = self._scheduled()
+        t0, t1 = prob.requests.time_span()
+        lo, hi = steady_window(prob, trim=0.2)
+        assert t0 < lo < hi < t1
+
+    def test_steady_rate_below_raw_under_load(self):
+        """Warm-up inflates the raw accept rate under sustained overload."""
+        from repro.metrics import steady_accept_rate
+
+        prob, result = self._scheduled(gap=0.3)
+        assert steady_accept_rate(prob, result, trim=0.2) <= result.accept_rate + 0.02
+
+    def test_trim_zero_matches_raw(self):
+        from repro.metrics import steady_accept_rate
+
+        prob, result = self._scheduled()
+        assert steady_accept_rate(prob, result, trim=0.0) == pytest.approx(result.accept_rate)
+
+    def test_series_shape(self):
+        import numpy as np
+
+        from repro.metrics import accept_rate_series
+
+        prob, result = self._scheduled()
+        centres, rates = accept_rate_series(prob, result, num_bins=10)
+        assert centres.shape == rates.shape == (10,)
+        finite = rates[~np.isnan(rates)]
+        assert np.all((finite >= 0) & (finite <= 1))
+
+    def test_series_shows_warmup(self):
+        import numpy as np
+
+        from repro.metrics import accept_rate_series
+
+        prob, result = self._scheduled(gap=0.3)
+        _, rates = accept_rate_series(prob, result, num_bins=8)
+        # first bin (empty network) at least as good as the middle bins
+        middle = np.nanmean(rates[2:6])
+        assert rates[0] >= middle - 0.05
+
+    def test_validation(self):
+        from repro.metrics import accept_rate_series, steady_window
+
+        prob, result = self._scheduled(n=20)
+        with pytest.raises(ValueError):
+            steady_window(prob, trim=0.7)
+        with pytest.raises(ValueError):
+            accept_rate_series(prob, result, num_bins=0)

@@ -1,0 +1,78 @@
+"""Tests for the Platform model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, Platform
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Platform([100.0, 200.0], [50.0, 50.0, 50.0])
+        assert p.num_ingress == 2
+        assert p.num_egress == 3
+
+    def test_uniform(self):
+        p = Platform.uniform(4, 6, 125.0)
+        assert p.num_ingress == 4
+        assert p.num_egress == 6
+        assert np.all(p.ingress_capacity == 125.0)
+
+    def test_paper_platform(self):
+        p = Platform.paper_platform()
+        assert p.num_ingress == p.num_egress == 10
+        assert p.bin(0) == 1000.0
+        assert p.half_capacity == 10_000.0
+
+    def test_grid5000(self):
+        p = Platform.grid5000()
+        assert p.num_ingress == 8
+        assert p.total_capacity > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Platform([], [100.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Platform([100.0, 0.0], [100.0])
+        with pytest.raises(ConfigurationError):
+            Platform([100.0], [-5.0])
+
+    def test_capacities_immutable(self):
+        p = Platform.uniform(2, 2, 10.0)
+        with pytest.raises(ValueError):
+            p.ingress_capacity[0] = 99.0
+
+
+class TestAccessors:
+    def test_bin_bout(self):
+        p = Platform([10.0, 20.0], [30.0, 40.0])
+        assert p.bin(1) == 20.0
+        assert p.bout(0) == 30.0
+
+    def test_bottleneck(self):
+        p = Platform([10.0, 20.0], [30.0, 5.0])
+        assert p.bottleneck(1, 0) == 20.0
+        assert p.bottleneck(1, 1) == 5.0
+
+    def test_totals(self):
+        p = Platform([10.0, 20.0], [30.0, 40.0])
+        assert p.total_capacity == 100.0
+        assert p.half_capacity == 50.0
+
+
+class TestEqualitySerialisation:
+    def test_roundtrip(self):
+        p = Platform([10.0, 20.0], [30.0])
+        assert Platform.from_dict(p.to_dict()) == p
+
+    def test_equality(self):
+        assert Platform.uniform(2, 2, 5.0) == Platform.uniform(2, 2, 5.0)
+        assert Platform.uniform(2, 2, 5.0) != Platform.uniform(2, 2, 6.0)
+        assert Platform.uniform(2, 2, 5.0) != "not a platform"
+
+    def test_hash_consistent(self):
+        a = Platform.uniform(3, 3, 7.0)
+        b = Platform.uniform(3, 3, 7.0)
+        assert hash(a) == hash(b)

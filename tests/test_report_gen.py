@@ -1,0 +1,41 @@
+"""Tests for the batch report generator."""
+
+import pytest
+
+from repro.experiments import generate_all
+
+
+class TestGenerateAll:
+    def test_writes_artifacts(self, tmp_path):
+        timings = generate_all(
+            tmp_path,
+            only=["rtt-unfairness"],
+        )
+        assert set(timings) == {"rtt-unfairness"}
+        assert (tmp_path / "rtt-unfairness.txt").exists()
+        assert (tmp_path / "rtt-unfairness.md").exists()
+        assert "reno_share" in (tmp_path / "rtt-unfairness.txt").read_text()
+
+    def test_override_sizes(self, tmp_path):
+        timings = generate_all(
+            tmp_path,
+            only=["claims"],
+            overrides={"claims": dict(n_requests=200, seeds=(0,))},
+        )
+        assert timings["claims"] < 30.0
+        assert "claim" in (tmp_path / "claims.txt").read_text()
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            generate_all(tmp_path, only=["not-a-figure"])
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        generate_all(tmp_path, only=["rtt-unfairness"], progress=seen.append)
+        assert len(seen) == 1
+        assert seen[0].startswith("rtt-unfairness")
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        generate_all(target, only=["rtt-unfairness"])
+        assert target.exists()

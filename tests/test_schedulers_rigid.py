@@ -1,0 +1,199 @@
+"""Tests for rigid-request heuristics (FCFS and the SLOTS family)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    Platform,
+    ProblemInstance,
+    Request,
+    RequestSet,
+    verify_schedule,
+)
+from repro.schedulers import (
+    FCFSRigid,
+    SlotsScheduler,
+    cumulated_slots,
+    fifo_slots,
+    minbw_slots,
+    minvol_slots,
+    priority_factor,
+)
+from repro.workload import paper_rigid_workload
+
+
+def rigid(rid, i, e, bw, t0, t1):
+    """Rigid request at fixed bandwidth bw over [t0, t1]."""
+    return Request.rigid(rid, i, e, volume=bw * (t1 - t0), t_start=t0, t_end=t1)
+
+
+def problem(requests, capacity=100.0, m=2, n=2):
+    return ProblemInstance(Platform.uniform(m, n, capacity), RequestSet(requests))
+
+
+ALL_RIGID = [FCFSRigid(), fifo_slots(), cumulated_slots(), minbw_slots(), minvol_slots()]
+
+
+class TestFCFSRigid:
+    def test_accepts_when_fits(self):
+        prob = problem([rigid(0, 0, 1, 60.0, 0, 10), rigid(1, 0, 1, 40.0, 5, 15)])
+        result = FCFSRigid().schedule(prob)
+        assert result.num_accepted == 2
+        verify_schedule(prob.platform, prob.requests, result)
+
+    def test_rejects_overflow(self):
+        prob = problem([rigid(0, 0, 1, 60.0, 0, 10), rigid(1, 0, 1, 50.0, 5, 15)])
+        result = FCFSRigid().schedule(prob)
+        assert result.num_accepted == 1
+        assert 1 in result.rejected
+
+    def test_earlier_arrival_wins(self):
+        prob = problem([rigid(0, 0, 1, 60.0, 1, 10), rigid(1, 0, 1, 60.0, 0, 10)])
+        result = FCFSRigid().schedule(prob)
+        assert 1 in result.accepted
+        assert 0 in result.rejected
+
+    def test_tie_break_smaller_bw_first(self):
+        prob = problem([rigid(0, 0, 1, 80.0, 0, 10), rigid(1, 0, 1, 30.0, 0, 10)])
+        result = FCFSRigid().schedule(prob)
+        # both start at 0; smaller bw (rid 1) scheduled first, then 80 doesn't fit
+        assert 1 in result.accepted
+        assert 0 in result.rejected
+
+    def test_rejects_flexible_request(self):
+        flexible = Request(0, 0, 1, volume=100.0, t_start=0.0, t_end=100.0, max_rate=50.0)
+        prob = problem([flexible])
+        with pytest.raises(ConfigurationError):
+            FCFSRigid().schedule(prob)
+
+    def test_different_ports_independent(self):
+        prob = problem([rigid(0, 0, 0, 100.0, 0, 10), rigid(1, 1, 1, 100.0, 0, 10)])
+        result = FCFSRigid().schedule(prob)
+        assert result.num_accepted == 2
+
+    def test_empty_problem(self):
+        result = FCFSRigid().schedule(problem([]))
+        assert result.num_decided == 0
+
+
+class TestSlotsScheduler:
+    def test_single_interval_cost_order(self):
+        # capacity 100; three concurrent requests of bw 60, 50, 30
+        reqs = [
+            rigid(0, 0, 1, 60.0, 0, 10),
+            rigid(1, 0, 1, 50.0, 0, 10),
+            rigid(2, 0, 1, 30.0, 0, 10),
+        ]
+        result = minbw_slots().schedule(problem(reqs))
+        # minbw packs 30 then 50 (=80), 60 fails
+        assert set(result.accepted) == {1, 2}
+
+    def test_minvol_blocking(self):
+        # concurrent in [0,1): 90 + 20 = 110 > 100 -> minvol keeps the small
+        # volume (rid 0), rejecting the large-volume low-bw one
+        reqs = [
+            rigid(0, 0, 1, 90.0, 0, 1),   # vol 90, bw 90
+            rigid(1, 0, 1, 20.0, 0, 10),  # vol 200, bw 20
+        ]
+        result = minvol_slots().schedule(problem(reqs, capacity=100.0))
+        assert 0 in result.accepted
+        assert 1 in result.rejected
+        # minbw makes the opposite (better-utilising) choice
+        result2 = minbw_slots().schedule(problem(reqs, capacity=100.0))
+        assert 1 in result2.accepted
+        assert 0 in result2.rejected
+
+    def test_multi_interval_failure_removes_request(self):
+        # rid 0 spans [0, 20); fits in [0,10) but loses [10,20) to cheaper rivals
+        reqs = [
+            rigid(0, 0, 1, 60.0, 0, 20),
+            rigid(1, 0, 1, 50.0, 10, 20),
+            rigid(2, 0, 1, 30.0, 10, 20),
+        ]
+        result = minbw_slots().schedule(problem(reqs))
+        assert 0 in result.rejected
+        assert {1, 2} <= set(result.accepted)
+        verify_schedule(problem(reqs).platform, RequestSet(reqs), result)
+
+    def test_accepted_satisfy_every_interval(self):
+        prob = paper_rigid_workload(4.0, 300, seed=2)
+        for scheduler in (cumulated_slots(), minbw_slots(), minvol_slots(), fifo_slots()):
+            result = scheduler.schedule(prob)
+            verify_schedule(prob.platform, prob.requests, result)
+
+    def test_rejects_flexible(self):
+        flexible = Request(0, 0, 1, volume=100.0, t_start=0.0, t_end=100.0, max_rate=50.0)
+        with pytest.raises(ConfigurationError):
+            cumulated_slots().schedule(problem([flexible]))
+
+    def test_empty(self):
+        result = cumulated_slots().schedule(problem([]))
+        assert result.num_decided == 0
+
+    def test_names(self):
+        assert cumulated_slots().name == "cumulated-slots"
+        assert minbw_slots().name == "minbw-slots"
+        assert minvol_slots().name == "minvol-slots"
+        assert fifo_slots().name == "fifo-slots"
+
+    def test_fifo_slots_orders_by_arrival(self):
+        # later-arriving cheap request loses to earlier expensive one under FIFO
+        reqs = [
+            rigid(0, 0, 1, 90.0, 0, 10),
+            rigid(1, 0, 1, 20.0, 5, 10),
+        ]
+        result = fifo_slots().schedule(problem(reqs))
+        assert 0 in result.accepted
+        assert 1 in result.rejected
+        # minbw kicks rid 0 at the [5, 10) slice instead
+        result2 = minbw_slots().schedule(problem(reqs))
+        assert 1 in result2.accepted
+        assert 0 in result2.rejected
+
+
+class TestPriorityFactor:
+    def test_grows_towards_one(self):
+        r = rigid(0, 0, 1, 10.0, 0, 100)
+        early = priority_factor(r, 0.0, 10.0)
+        late = priority_factor(r, 90.0, 100.0)
+        assert early == pytest.approx(0.1)
+        assert late == pytest.approx(1.0)
+
+    def test_smaller_duration_higher_priority(self):
+        short = rigid(0, 0, 1, 10.0, 0, 10)
+        long = rigid(1, 0, 1, 10.0, 0, 100)
+        assert priority_factor(short, 0.0, 10.0) > priority_factor(long, 0.0, 10.0)
+
+
+class TestCrossHeuristicInvariants:
+    @pytest.mark.parametrize("scheduler", ALL_RIGID, ids=lambda s: s.name)
+    def test_all_valid_on_paper_workload(self, scheduler):
+        prob = paper_rigid_workload(6.0, 250, seed=9)
+        result = scheduler.schedule(prob)
+        verify_schedule(prob.platform, prob.requests, result)
+        assert result.num_decided == prob.num_requests
+
+    def test_fifo_worst_under_heavy_load(self):
+        prob = paper_rigid_workload(16.0, 800, seed=4)
+        rates = {s.name: s.schedule(prob).accept_rate for s in ALL_RIGID}
+        assert rates["fifo-slots"] < rates["cumulated-slots"]
+        assert rates["fifo-slots"] < rates["minbw-slots"]
+
+    def test_deterministic(self):
+        prob = paper_rigid_workload(4.0, 200, seed=5)
+        a = cumulated_slots().schedule(prob)
+        b = cumulated_slots().schedule(prob)
+        assert set(a.accepted) == set(b.accepted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), load=st.floats(0.5, 10.0, allow_nan=False))
+def test_slots_schedules_always_verify(seed, load):
+    """Property: every SLOTS schedule on random workloads satisfies Eq. 1."""
+    prob = paper_rigid_workload(load, 120, seed=seed)
+    for scheduler in (cumulated_slots(), minbw_slots(), minvol_slots()):
+        result = scheduler.schedule(prob)
+        verify_schedule(prob.platform, prob.requests, result)

@@ -1,0 +1,182 @@
+"""Tests for the stateful ReservationService."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import ReservationService, ReservationState
+from repro.core import ConfigurationError, InvalidRequestError, Platform
+from repro.schedulers import FractionOfMaxPolicy
+
+
+@pytest.fixture
+def service():
+    return ReservationService(Platform.uniform(2, 2, 100.0))
+
+
+class TestSubmit:
+    def test_confirms_feasible(self, service):
+        r = service.submit(ingress=0, egress=1, volume=1000.0, deadline=100.0, now=0.0)
+        assert r.confirmed
+        assert r.allocation.bw == pytest.approx(10.0)  # MinRate policy
+        assert r.state(0.0) == ReservationState.ACTIVE
+        assert r.state(200.0) == ReservationState.COMPLETED
+
+    def test_default_max_rate_is_bottleneck(self, service):
+        r = service.submit(ingress=0, egress=1, volume=1000.0, deadline=100.0, now=0.0)
+        assert r.request.max_rate == pytest.approx(100.0)
+
+    def test_books_ahead_when_busy(self):
+        service = ReservationService(
+            Platform.uniform(2, 2, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        first = service.submit(ingress=0, egress=1, volume=1000.0, deadline=1000.0, now=0.0)
+        assert first.allocation.tau == pytest.approx(10.0)
+        second = service.submit(ingress=0, egress=1, volume=1000.0, deadline=1000.0, now=1.0)
+        assert second.confirmed
+        assert second.allocation.sigma == pytest.approx(10.0)  # waits for the port
+        assert second.state(5.0) == ReservationState.CONFIRMED
+
+    def test_rejects_infeasible(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        service.submit(ingress=0, egress=0, volume=1000.0, deadline=100.0, now=0.0)
+        r = service.submit(ingress=0, egress=0, volume=1000.0, deadline=12.0, now=1.0)
+        assert not r.confirmed
+        assert r.state(1.0) == ReservationState.REJECTED
+
+    def test_malformed_submission_raises(self, service):
+        with pytest.raises(InvalidRequestError):
+            service.submit(ingress=0, egress=1, volume=-5.0, deadline=10.0, now=0.0)
+
+    def test_clock_monotonic(self, service):
+        service.submit(ingress=0, egress=1, volume=10.0, deadline=100.0, now=50.0)
+        with pytest.raises(ConfigurationError):
+            service.submit(ingress=0, egress=1, volume=10.0, deadline=100.0, now=10.0)
+
+
+class TestCancel:
+    def test_cancel_frees_capacity_for_next(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        first = service.submit(ingress=0, egress=0, volume=10_000.0, deadline=200.0, now=0.0)
+        assert first.confirmed  # occupies the port until t = 100
+        blocked = service.submit(ingress=0, egress=0, volume=9_000.0, deadline=95.0, now=1.0)
+        assert not blocked.confirmed
+        assert service.cancel(first.rid, now=2.0)
+        retry = service.submit(ingress=0, egress=0, volume=9_000.0, deadline=95.0, now=3.0)
+        assert retry.confirmed
+
+    def test_cancel_mid_transfer_releases_remainder(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        r = service.submit(ingress=0, egress=0, volume=10_000.0, deadline=200.0, now=0.0)
+        assert service.cancel(r.rid, now=50.0)
+        assert r.state(60.0) == ReservationState.CANCELLED
+        # the tail [50, 100) is free again
+        ins, _ = service.port_usage(75.0)
+        assert ins[0] == pytest.approx(0.0)
+        # but the consumed part [0, 50) stays accounted
+        ins, _ = service.port_usage(25.0)
+        assert ins[0] == pytest.approx(100.0)
+
+    def test_cancel_completed_is_noop(self, service):
+        r = service.submit(ingress=0, egress=1, volume=100.0, deadline=10.0, now=0.0)
+        assert not service.cancel(r.rid, now=20.0)
+
+    def test_cancel_rejected_is_noop(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        service.submit(ingress=0, egress=0, volume=1000.0, deadline=100.0, now=0.0)
+        r = service.submit(ingress=0, egress=0, volume=1000.0, deadline=11.0, now=1.0)
+        assert not r.confirmed
+        assert not service.cancel(r.rid, now=2.0)
+
+    def test_double_cancel(self, service):
+        r = service.submit(ingress=0, egress=1, volume=1000.0, deadline=500.0, now=0.0)
+        assert service.cancel(r.rid, now=1.0)
+        assert not service.cancel(r.rid, now=2.0)
+
+    def test_unknown_rid(self, service):
+        with pytest.raises(KeyError):
+            service.cancel(999, now=0.0)
+        with pytest.raises(KeyError):
+            service.get(999)
+
+
+class TestInspection:
+    def test_accept_rate_and_listing(self, service):
+        service.submit(ingress=0, egress=1, volume=100.0, deadline=100.0, now=0.0)
+        service.submit(ingress=1, egress=0, volume=100.0, deadline=100.0, now=1.0)
+        assert service.accept_rate() == 1.0
+        assert [r.rid for r in service.reservations()] == [0, 1]
+
+    def test_empty_accept_rate(self, service):
+        assert service.accept_rate() == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["submit", "cancel"]),
+            st.floats(1.0, 50.0, allow_nan=False),   # dt
+            st.floats(100.0, 50_000.0, allow_nan=False),  # volume
+            st.integers(0, 1),
+            st.integers(0, 1),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_service_never_overcommits(ops):
+    """Property: any submit/cancel interleaving keeps ports within capacity."""
+    service = ReservationService(Platform.uniform(2, 2, 100.0))
+    now = 0.0
+    confirmed: list[int] = []
+    for op, dt, volume, ingress, egress in ops:
+        now += dt
+        if op == "submit" or not confirmed:
+            r = service.submit(
+                ingress=ingress, egress=egress, volume=volume, deadline=now + 600.0, now=now
+            )
+            if r.confirmed:
+                confirmed.append(r.rid)
+        else:
+            service.cancel(confirmed.pop(0), now=now)
+    assert service._ledger.max_overcommit() <= 1e-6
+
+
+class TestStripedSubmission:
+    def test_striped_books_and_blocks(self):
+        service = ReservationService(Platform.uniform(4, 2, 100.0))
+        booking = service.submit_striped(
+            sources=[0, 1], egress=0, volume=1000.0, deadline=1000.0, now=0.0
+        )
+        assert booking is not None
+        assert booking.volume == pytest.approx(1000.0)
+        assert booking.finish == pytest.approx(10.0)  # 2 sources, egress cap 100
+        # the egress is now full until t=10: a conflicting submit waits
+        r = service.submit(ingress=2, egress=0, volume=500.0, deadline=100.0, now=1.0)
+        assert r.confirmed
+        assert r.allocation.sigma >= 10.0 - 1e-9
+
+    def test_striped_infeasible_books_nothing(self):
+        service = ReservationService(Platform.uniform(2, 1, 10.0))
+        booking = service.submit_striped(
+            sources=[0, 1], egress=0, volume=1_000_000.0, deadline=10.0, now=0.0
+        )
+        assert booking is None
+        ins, outs = service.port_usage(5.0)
+        assert outs[0] == pytest.approx(0.0)
+
+    def test_striped_rids_unique(self):
+        service = ReservationService(Platform.uniform(4, 2, 100.0))
+        a = service.submit_striped(sources=[0, 1], egress=0, volume=100.0, deadline=100.0, now=0.0)
+        b = service.submit_striped(sources=[2, 3], egress=1, volume=100.0, deadline=100.0, now=1.0)
+        rids = [al.rid for al in a.allocations] + [al.rid for al in b.allocations]
+        assert len(set(rids)) == len(rids)

@@ -1,0 +1,67 @@
+"""SlotsScheduler vs an independently-written Algorithm 1 oracle.
+
+The production scheduler uses a moving cursor and incremental active-set
+maintenance; this oracle re-implements Algorithm 1 in the most naive way
+possible (full scans everywhere).  Agreement on random workloads guards
+the optimised implementation against bookkeeping regressions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProblemInstance
+from repro.schedulers import SlotsScheduler
+from repro.schedulers.costs import CumulatedCost, MinBwCost, MinVolCost
+from repro.workload import paper_rigid_workload
+
+
+def oracle_slots(problem: ProblemInstance, cost) -> set[int]:
+    """Naive Algorithm 1: returns the accepted rid set."""
+    platform = problem.platform
+    requests = list(problem.requests)
+    times = sorted({t for r in requests for t in (r.t_start, r.t_end)})
+    rejected: set[int] = set()
+    for t1, t2 in zip(times[:-1], times[1:]):
+        active = [
+            r
+            for r in requests
+            if r.rid not in rejected and r.t_start <= t1 and r.t_end >= t2
+        ]
+        active.sort(key=lambda r: (cost.cost(r, t1, t2, platform), r.min_rate, r.rid))
+        ali = [0.0] * platform.num_ingress
+        ale = [0.0] * platform.num_egress
+        for r in active:
+            bw = r.min_rate
+            if (
+                ali[r.ingress] + bw <= platform.bin(r.ingress) * (1 + 1e-9)
+                and ale[r.egress] + bw <= platform.bout(r.egress) * (1 + 1e-9)
+            ):
+                ali[r.ingress] += bw
+                ale[r.egress] += bw
+            else:
+                rejected.add(r.rid)
+    return {r.rid for r in requests if r.rid not in rejected}
+
+
+COSTS = [CumulatedCost(), MinBwCost(), MinVolCost()]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    load=st.floats(1.0, 16.0, allow_nan=False),
+    cost_idx=st.integers(0, len(COSTS) - 1),
+)
+def test_scheduler_matches_oracle(seed, load, cost_idx):
+    problem = paper_rigid_workload(load, 60, seed=seed)
+    cost = COSTS[cost_idx]
+    result = SlotsScheduler(cost).schedule(problem)
+    assert set(result.accepted) == oracle_slots(problem, cost)
+
+
+def test_oracle_on_known_case():
+    problem = paper_rigid_workload(8.0, 100, seed=7)
+    for cost in COSTS:
+        assert set(SlotsScheduler(cost).schedule(problem).accepted) == oracle_slots(problem, cost)

@@ -1,0 +1,36 @@
+"""Tests for workload trace persistence (npz / csv)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import load_csv, load_npz, paper_flexible_workload, save_csv, save_npz
+
+
+@pytest.fixture
+def requests():
+    return paper_flexible_workload(2.0, 40, seed=8).requests
+
+
+def test_npz_roundtrip(tmp_path, requests):
+    path = tmp_path / "trace.npz"
+    save_npz(path, requests)
+    clone = load_npz(path)
+    assert list(clone) == list(requests)
+
+
+def test_csv_roundtrip(tmp_path, requests):
+    path = tmp_path / "trace.csv"
+    save_csv(path, requests)
+    clone = load_csv(path)
+    assert len(clone) == len(requests)
+    for a, b in zip(clone, requests):
+        assert a.rid == b.rid
+        assert a.volume == pytest.approx(b.volume)
+        assert a.t_start == pytest.approx(b.t_start)
+
+
+def test_csv_header(tmp_path, requests):
+    path = tmp_path / "trace.csv"
+    save_csv(path, requests)
+    header = path.read_text().splitlines()[0]
+    assert header == "rid,ingress,egress,volume,t_start,t_end,max_rate"

@@ -1,0 +1,108 @@
+"""Tests for repro.units: parsing, formatting, constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_volume_hierarchy(self):
+        assert units.KB < units.MB < units.GB < units.TB
+        assert units.GB == 1000 * units.MB
+        assert units.TB == 1000 * units.GB
+
+    def test_time_hierarchy(self):
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+
+    def test_bandwidth(self):
+        assert units.GBPS == 1000 * units.MBPS
+
+
+class TestParseVolume:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100GB", 100_000.0),
+            ("1TB", 1_000_000.0),
+            ("512mb", 512.0),
+            ("1.5 GB", 1500.0),
+            ("250", 250.0),
+            ("2e3 MB", 2000.0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert units.parse_volume(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert units.parse_volume(42) == 42.0
+        assert units.parse_volume(3.5) == 3.5
+
+    def test_bad_unit(self):
+        with pytest.raises(ValueError):
+            units.parse_volume("10 parsecs")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_volume("not a number")
+
+
+class TestParseBandwidth:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1GB/s", 1000.0),
+            ("10 MB/s", 10.0),
+            ("1gbps", 1000.0),
+            ("500", 500.0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert units.parse_bandwidth(text) == pytest.approx(expected)
+
+    def test_bad(self):
+        with pytest.raises(ValueError):
+            units.parse_bandwidth("10 qubits/s")
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("90s", 90.0),
+            ("2h", 7200.0),
+            ("1 day", 86400.0),
+            ("5 min", 300.0),
+            ("10", 10.0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert units.parse_duration(text) == pytest.approx(expected)
+
+
+class TestFormatting:
+    def test_volume_roundtrip_scale(self):
+        assert units.format_volume(1_000_000.0) == "1TB"
+        assert units.format_volume(250_000.0) == "250GB"
+        assert units.format_volume(5.0) == "5MB"
+
+    def test_bandwidth(self):
+        assert units.format_bandwidth(1000.0) == "1GB/s"
+        assert units.format_bandwidth(10.0) == "10MB/s"
+
+    def test_duration(self):
+        assert units.format_duration(86400.0) == "1d"
+        assert units.format_duration(7200.0) == "2h"
+        assert units.format_duration(90.0) == "1.5min"
+        assert units.format_duration(12.0) == "12s"
+
+    def test_nonfinite(self):
+        assert units.format_volume(math.inf) == "inf"
+        assert units.format_duration(math.nan) == "nan"
+
+    def test_parse_format_roundtrip(self):
+        for mb in [1.0, 500.0, 100_000.0, 2_000_000.0]:
+            assert units.parse_volume(units.format_volume(mb)) == pytest.approx(mb, rel=1e-3)
