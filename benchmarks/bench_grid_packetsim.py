@@ -3,7 +3,6 @@
 import numpy as np
 from conftest import save_artifacts
 
-from repro.core import Platform
 from repro.experiments import coallocation
 from repro.packetsim import AimdFlow, BottleneckLink, LinkSimulation, PacedFlow
 

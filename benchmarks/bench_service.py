@@ -1,7 +1,6 @@
 """Benchmarks: the stateful reservation service and striped staging."""
 
 import numpy as np
-import pytest
 
 from repro.control import ReservationService
 from repro.control.striped import book_striped

@@ -8,7 +8,6 @@ against the Little's-law calibration target.
 Run:  python examples/workload_characterization.py
 """
 
-import numpy as np
 
 from repro.workload import (
     paper_flexible_workload,

@@ -1,10 +1,15 @@
-"""Overlay control plane: distributed admission and rate enforcement (§5.4).
+"""Overlay control plane: distributed admission, rate enforcement, faults.
 
 :class:`ControlPlane` simulates the RSVP-like two-phase reservation between
 ingress and egress access routers; :class:`TokenBucket` models the
 client-side pacing / access-point drop enforcement.
+:class:`ReservationService` is the stateful client-facing API, hardened
+against mid-flight aborts, port outages, and process crashes
+(:mod:`repro.control.faults`, :mod:`repro.control.journal`).
 """
 
+from .faults import AbortFault, FaultDrillReport, FaultInjector, PortFault, run_fault_drill
+from .journal import Journal, JournalEntry
 from .messages import MessageType, ReservationMessage
 from .plane import ControlPlane
 from .router import PortAgent
@@ -13,9 +18,15 @@ from .striped import StripedBooking, book_striped, plan_striped
 from .token_bucket import TokenBucket, enforce_series
 
 __all__ = [
+    "AbortFault",
     "ControlPlane",
+    "FaultDrillReport",
+    "FaultInjector",
+    "Journal",
+    "JournalEntry",
     "MessageType",
     "PortAgent",
+    "PortFault",
     "Reservation",
     "ReservationService",
     "ReservationState",
@@ -25,4 +36,5 @@ __all__ = [
     "book_striped",
     "enforce_series",
     "plan_striped",
+    "run_fault_drill",
 ]

@@ -1,0 +1,255 @@
+"""Online failure injection for the reservation control plane.
+
+The offline abort model (:mod:`repro.grid.failures`) post-processes a
+finished schedule; this module injects failures **while the service
+runs**, as events of the discrete-event engine (:mod:`repro.sim`):
+
+- :class:`AbortFault` — a transfer dies mid-flight at a given instant;
+- :class:`PortFault` — a port loses ``amount`` MB/s over ``[start, end)``
+  (a full outage when the amount reaches the port capacity).
+
+:class:`FaultInjector` schedules these against a live
+:class:`~repro.control.service.ReservationService` and drives recovery:
+reservations displaced by a port fault have their residual volume
+(``volume − carried``) resubmitted with exponential backoff and jitter
+(:class:`~repro.schedulers.retry.BackoffSchedule`) until the rebooking is
+admitted, the deadline becomes unreachable, or the attempt budget runs
+out.
+
+:func:`run_fault_drill` wires a whole experiment — workload arrivals,
+random aborts, planned port faults — through one simulator, and is what
+the fault benchmark, the example scenario, and the end-to-end tests run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.booking import deadline_tolerance
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+from ..core.request import Request
+from ..schedulers.policies import BandwidthPolicy
+from ..schedulers.retry import BackoffSchedule
+from ..sim.engine import Simulator
+from .journal import Journal
+from .service import Reservation, ReservationService
+
+__all__ = [
+    "AbortFault",
+    "PortFault",
+    "FaultInjector",
+    "FaultDrillReport",
+    "run_fault_drill",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AbortFault:
+    """Kill reservation ``rid`` at time ``at`` (a mid-flight failure)."""
+
+    rid: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class PortFault:
+    """Remove ``amount`` MB/s from a port over ``[start, end)``."""
+
+    side: str  # "ingress" | "egress"
+    port: int
+    amount: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.side not in ("ingress", "egress"):
+            raise ConfigurationError(f"side must be 'ingress' or 'egress', got {self.side!r}")
+        if not (self.end > self.start):
+            raise ConfigurationError(f"empty fault window [{self.start}, {self.end})")
+        if self.amount <= 0:
+            raise ConfigurationError(f"fault amount must be positive, got {self.amount}")
+
+    @classmethod
+    def outage(cls, side: str, port: int, capacity: float, start: float, end: float) -> "PortFault":
+        """A full outage: the whole ``capacity`` disappears over the window."""
+        return cls(side=side, port=port, amount=capacity, start=start, end=end)
+
+
+class FaultInjector:
+    """Schedules faults as simulation events and drives rebooking.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine the service traffic runs on.
+    service:
+        The reservation service under test.
+    rebook:
+        Backoff schedule for resubmitting displaced residual volumes;
+        ``None`` disables automatic rebooking.
+    seed:
+        Seed of the injector's private RNG (backoff jitter, random abort
+        sampling).  The RNG never touches the service itself, so journal
+        replay stays deterministic regardless of jitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: ReservationService,
+        *,
+        rebook: BackoffSchedule | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.service = service
+        self.rebook = rebook
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def schedule_abort(self, fault: AbortFault) -> None:
+        """Arrange for a reservation to abort at ``fault.at``."""
+        self.sim.at(fault.at, self._on_abort, payload=fault)
+
+    def schedule_fault(self, fault: PortFault) -> None:
+        """Arrange for a port degradation to strike at ``fault.start``."""
+        self.sim.at(fault.start, self._on_port_fault, payload=fault)
+
+    def maybe_abort(self, reservation: Reservation, abort_rate: float) -> AbortFault | None:
+        """Sample a mid-flight abort for a freshly confirmed reservation.
+
+        With probability ``abort_rate`` the transfer dies at a uniform
+        point of the part of its ``[σ, τ)`` run still ahead of the clock
+        (mirroring the offline model of :mod:`repro.grid.failures`).
+        """
+        if reservation.allocation is None or self.rng.random() >= abort_rate:
+            return None
+        alloc = reservation.allocation
+        lo = max(self.sim.now, alloc.sigma)
+        if lo >= alloc.tau:
+            return None
+        fault = AbortFault(rid=reservation.rid, at=self.rng.uniform(lo, alloc.tau))
+        self.schedule_abort(fault)
+        return fault
+
+    # ------------------------------------------------------------------
+    def _on_abort(self, event) -> None:
+        fault: AbortFault = event.payload
+        self.service.abort(fault.rid, now=self.sim.now)
+
+    def _on_port_fault(self, event) -> None:
+        fault: PortFault = event.payload
+        displaced = self.service.degrade(
+            side=fault.side,
+            port=fault.port,
+            amount=fault.amount,
+            start=fault.start,
+            end=fault.end,
+            now=self.sim.now,
+        )
+        if self.rebook is None:
+            return
+        for reservation in displaced:
+            self._schedule_rebook(reservation, attempt=1)
+
+    def _schedule_rebook(self, displaced: Reservation, attempt: int) -> None:
+        """Queue rebooking attempt ``attempt`` for a displaced residual."""
+        if attempt > self.rebook.max_attempts:
+            return
+        residual = displaced.residual
+        if residual <= 0:
+            return
+        request = displaced.request
+        at = self.sim.now + self.rebook.delay(attempt, self.rng)
+        # Give up when not even MaxRate can deliver the residual by the
+        # deadline from the attempt time.
+        if at + residual / request.max_rate > request.t_end + deadline_tolerance(request.t_end):
+            return
+        self.sim.at(at, self._on_rebook, payload=(displaced, attempt))
+
+    def _on_rebook(self, event) -> None:
+        displaced, attempt = event.payload
+        request = displaced.request
+        rebooked = self.service.submit(
+            ingress=request.ingress,
+            egress=request.egress,
+            volume=displaced.residual,
+            deadline=request.t_end,
+            now=self.sim.now,
+            max_rate=request.max_rate,
+            origin=displaced.rid,
+        )
+        if not rebooked.confirmed:
+            self._schedule_rebook(displaced, attempt + 1)
+
+
+@dataclass
+class FaultDrillReport:
+    """Everything a fault-injection run produces."""
+
+    service: ReservationService
+    injector: FaultInjector
+    aborts: list[AbortFault] = field(default_factory=list)
+    faults: list[PortFault] = field(default_factory=list)
+
+    @property
+    def journal(self) -> Journal | None:
+        """The service's operation journal (when one was attached)."""
+        return self.service.journal
+
+
+def run_fault_drill(
+    platform: Platform,
+    requests: Iterable[Request],
+    *,
+    policy: BandwidthPolicy | None = None,
+    abort_rate: float = 0.0,
+    faults: Sequence[PortFault] = (),
+    rebook: BackoffSchedule | None = None,
+    backlog_limit: int = 0,
+    journal: Journal | None = None,
+    seed: int = 0,
+    until: float | None = None,
+) -> FaultDrillReport:
+    """Drive a workload plus failures through one online simulation.
+
+    Each request is submitted at its ``t_start``; confirmed reservations
+    abort mid-flight with probability ``abort_rate``; the planned port
+    ``faults`` strike at their start times, displacing reservations whose
+    residual volume is then rebooked per ``rebook``.  Returns the finished
+    service (inspect ``service.stats``, ``service.snapshot()``, or verify
+    Eq. 1 via ``service.surviving_schedule()``).
+    """
+    if not (0.0 <= abort_rate <= 1.0):
+        raise ConfigurationError(f"abort_rate must be in [0, 1], got {abort_rate}")
+    service = ReservationService(
+        platform, policy=policy, backlog_limit=backlog_limit, journal=journal
+    )
+    sim = Simulator()
+    injector = FaultInjector(sim, service, rebook=rebook, seed=seed)
+    report = FaultDrillReport(service=service, injector=injector, faults=list(faults))
+
+    def on_arrival(event) -> None:
+        request: Request = event.payload
+        reservation = service.submit(
+            ingress=request.ingress,
+            egress=request.egress,
+            volume=request.volume,
+            deadline=request.t_end,
+            now=sim.now,
+            max_rate=request.max_rate,
+        )
+        if abort_rate > 0.0:
+            fault = injector.maybe_abort(reservation, abort_rate)
+            if fault is not None:
+                report.aborts.append(fault)
+
+    for request in sorted(requests, key=lambda r: (r.t_start, r.rid)):
+        sim.at(request.t_start, on_arrival, payload=request)
+    for fault in faults:
+        injector.schedule_fault(fault)
+    sim.run(until=until if until is not None else float("inf"))
+    return report

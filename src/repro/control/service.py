@@ -13,22 +13,38 @@ long-running service object:
 Reservations can later be **cancelled**; bandwidth not yet consumed is
 returned to the ledger and benefits subsequent submissions (the tests
 assert this capacity reuse).  The service clock only moves forward.
+
+Beyond the happy path, the service is the recovery point of the
+fault-tolerant control plane (see :mod:`repro.control.faults`):
+
+- :meth:`abort` handles a mid-flight transfer failure — the reservation
+  tail returns to the ledger and, when a re-admission backlog is enabled,
+  previously rejected requests immediately compete for the freed capacity;
+- :meth:`degrade` applies a port capacity reduction or outage, finds the
+  reservations the remaining capacity can no longer carry, and cancels
+  them with a checkpoint of the volume already carried so their residual
+  can be rebooked (``volume − carried``);
+- every state-changing operation can be journaled
+  (:class:`~repro.control.journal.Journal`) and a crashed service rebuilt
+  deterministically via :meth:`replay` — :meth:`snapshot` equality is the
+  test oracle.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
-from ..core.allocation import Allocation
-from ..core.errors import ConfigurationError
-from ..core.ledger import PortLedger
+from ..core.allocation import Allocation, ScheduleResult
+from ..core.booking import deadline_tolerance, earliest_fit
+from ..core.errors import ConfigurationError, InvalidRequestError
+from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
 from ..core.platform import Platform
-from ..core.request import Request
-from ..schedulers.policies import BandwidthPolicy, MinRatePolicy
-
-from typing import TYPE_CHECKING
+from ..core.request import Request, RequestSet
+from ..metrics.faults import FaultStats
+from ..schedulers.policies import BandwidthPolicy, MinRatePolicy, policy_from_name
+from .journal import Journal
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from .striped import StripedBooking
@@ -44,6 +60,8 @@ class ReservationState(enum.Enum):
     ACTIVE = "active"         # transfer in progress
     COMPLETED = "completed"   # transfer window fully elapsed
     CANCELLED = "cancelled"
+    ABORTED = "aborted"       # transfer failed mid-flight
+    DISPLACED = "displaced"   # cancelled by a port outage/degradation
 
 
 @dataclass
@@ -54,16 +72,46 @@ class Reservation:
     request: Request
     allocation: Allocation | None
     cancelled_at: float | None = None
+    aborted_at: float | None = None
+    displaced_at: float | None = None
+    #: rid of the reservation this one re-admits or rebooks, if any.
+    origin: int | None = None
 
     @property
     def confirmed(self) -> bool:
         """Was the reservation admitted?"""
         return self.allocation is not None
 
+    @property
+    def terminated_at(self) -> float | None:
+        """When the reservation ended early (cancel/abort/displacement)."""
+        for t in (self.cancelled_at, self.aborted_at, self.displaced_at):
+            if t is not None:
+                return t
+        return None
+
+    @property
+    def carried(self) -> float:
+        """MB actually delivered before the transfer ended."""
+        if self.allocation is None:
+            return 0.0
+        stop = self.terminated_at
+        end = self.allocation.tau if stop is None else min(stop, self.allocation.tau)
+        return self.allocation.bw * max(0.0, end - self.allocation.sigma)
+
+    @property
+    def residual(self) -> float:
+        """MB still undelivered when the reservation ended early."""
+        return max(0.0, self.request.volume - self.carried)
+
     def state(self, now: float) -> ReservationState:
         """Lifecycle state as of time ``now``."""
         if self.allocation is None:
             return ReservationState.REJECTED
+        if self.aborted_at is not None:
+            return ReservationState.ABORTED
+        if self.displaced_at is not None:
+            return ReservationState.DISPLACED
         if self.cancelled_at is not None:
             return ReservationState.CANCELLED
         if now < self.allocation.sigma:
@@ -82,15 +130,46 @@ class ReservationService:
         Port capacities.
     policy:
         Bandwidth assignment policy for admitted transfers.
+    backlog_limit:
+        Keep up to this many rejected requests; whenever capacity frees up
+        (cancel / abort / degrade) they are re-offered to the ledger in
+        FIFO order.  ``0`` (default) disables re-admission.
+    journal:
+        Optional operation journal; every state-changing call is appended
+        so :meth:`replay` can rebuild the service after a crash.
     """
 
-    def __init__(self, platform: Platform, policy: BandwidthPolicy | None = None) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        policy: BandwidthPolicy | None = None,
+        *,
+        backlog_limit: int = 0,
+        journal: Journal | None = None,
+    ) -> None:
+        if backlog_limit < 0:
+            raise ConfigurationError(f"backlog_limit must be >= 0, got {backlog_limit}")
         self.platform = platform
         self.policy = policy or MinRatePolicy()
+        self.backlog_limit = backlog_limit
         self._ledger = PortLedger(platform)
         self._clock = float("-inf")
-        self._ids = itertools.count()
+        self._next_rid = 0
         self._reservations: dict[int, Reservation] = {}
+        self._striped: dict[int, "StripedBooking | None"] = {}
+        self._striped_cancelled: dict[int, float] = {}
+        self._backlog: list[int] = []
+        self._degradations: list[Degradation] = []
+        self.stats = FaultStats()
+        self.journal = journal
+        if journal is not None:
+            journal.set_header(
+                {
+                    "platform": platform.to_dict(),
+                    "policy": self.policy.name,
+                    "backlog_limit": backlog_limit,
+                }
+            )
 
     # ------------------------------------------------------------------
     def _advance(self, now: float) -> float:
@@ -98,6 +177,15 @@ class ReservationService:
             raise ConfigurationError(f"time went backwards: {now} < {self._clock}")
         self._clock = now
         return now
+
+    def _take_rid(self) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        return rid
+
+    def _record(self, op: str, now: float, **args: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(op, now, **args)
 
     @property
     def now(self) -> float:
@@ -114,17 +202,25 @@ class ReservationService:
         deadline: float,
         now: float,
         max_rate: float | None = None,
+        origin: int | None = None,
     ) -> Reservation:
         """Submit a transfer; returns a confirmed or rejected reservation.
 
         ``deadline`` is absolute; the window opens at ``now``.  The service
         books the earliest feasible start within the window at the policy's
         rate, exactly like :class:`~repro.schedulers.advance.EarliestStartFlexible`.
+
+        ``origin`` marks this submission as the rebooking of an earlier
+        reservation's residual volume (after an abort or displacement); it
+        links the new reservation to the old one for accounting and lets
+        :meth:`accept_rate` treat the pair as one client request.
         """
         self._advance(now)
         if max_rate is None:
             max_rate = self.platform.bottleneck(ingress, egress)
-        rid = next(self._ids)
+        if origin is not None and origin not in self._reservations:
+            raise KeyError(f"unknown origin reservation {origin}")
+        rid = self._take_rid()
         # Structural validation (positive volume, non-empty window, reachable
         # deadline) happens in the Request constructor and propagates as
         # InvalidRequestError — a malformed submission, not a rejection.
@@ -138,33 +234,46 @@ class ReservationService:
             max_rate=max_rate,
         )
         allocation = self._book(request)
-        reservation = Reservation(rid=rid, request=request, allocation=allocation)
+        reservation = Reservation(rid=rid, request=request, allocation=allocation, origin=origin)
         self._reservations[rid] = reservation
+        self._record(
+            "submit",
+            now,
+            ingress=ingress,
+            egress=egress,
+            volume=volume,
+            deadline=deadline,
+            max_rate=max_rate,
+            origin=origin,
+        )
+        if origin is not None:
+            parent = self._reservations[origin]
+            if parent.displaced_at is not None or parent.aborted_at is not None:
+                self.stats.rebook_attempts += 1
+                if allocation is not None:
+                    self.stats.rebooked += 1
+                    self.stats.recovered_volume += volume
+                    self.stats.rebook_wait_total += now - parent.terminated_at
+        elif allocation is None and self.backlog_limit > 0:
+            self._backlog.append(rid)
+            self.stats.backlogged += 1
+            if len(self._backlog) > self.backlog_limit:
+                self._backlog.pop(0)
         return reservation
 
     def _book(self, request: Request) -> Allocation | None:
-        latest = request.t_end - request.min_duration
-        if latest < request.t_start:
-            return None
-        starts = {request.t_start}
-        for timeline in (
-            self._ledger.ingress_timeline(request.ingress),
-            self._ledger.egress_timeline(request.egress),
-        ):
-            for t in timeline.breakpoints():
-                if request.t_start < t <= latest:
-                    starts.add(float(t))
-        for sigma in sorted(starts):
-            bw = self.policy.assign(request, sigma)
-            if bw is None:
-                continue
-            tau = sigma + request.volume / bw
-            if tau > request.t_end * (1 + 1e-12):
-                continue
-            if self._ledger.fits(request.ingress, request.egress, sigma, tau, bw):
-                self._ledger.allocate(request.ingress, request.egress, sigma, tau, bw)
-                return Allocation.for_request(request, bw, sigma=sigma)
-        return None
+        allocation = earliest_fit(
+            self._ledger, request, lambda sigma: self.policy.assign(request, sigma)
+        )
+        if allocation is not None:
+            self._ledger.allocate(
+                allocation.ingress,
+                allocation.egress,
+                allocation.sigma,
+                allocation.tau,
+                allocation.bw,
+            )
+        return allocation
 
     def submit_striped(
         self,
@@ -181,17 +290,19 @@ class ReservationService:
         All stripes start now and finish together as early as the ledger
         allows (see :mod:`repro.control.striped`).  Returns the committed
         booking, or ``None`` (nothing booked) when the deadline cannot be
-        met.  Striped bookings are not individually cancellable — they
-        model one logical dataset staging.
+        met.  The booking is tracked under its base rid (the first stripe's
+        rid): it counts in :meth:`accept_rate` and can be cancelled as a
+        whole through :meth:`cancel` — stripes model one logical dataset
+        staging and are never cancelled individually.
         """
         from .striped import book_striped
 
         self._advance(now)
-        base = next(self._ids)
+        base = self._take_rid()
         # Reserve one id per potential stripe so rids stay unique.
         for _ in range(len(sources) - 1):
-            next(self._ids)
-        return book_striped(
+            self._take_rid()
+        booking = book_striped(
             self._ledger,
             self.platform,
             sources=sources,
@@ -202,30 +313,317 @@ class ReservationService:
             max_stream_rate=max_stream_rate,
             base_rid=base,
         )
+        self._striped[base] = booking
+        self._record(
+            "submit_striped",
+            now,
+            sources=list(sources),
+            egress=egress,
+            volume=volume,
+            deadline=deadline,
+            max_stream_rate=max_stream_rate,
+        )
+        return booking
 
     # ------------------------------------------------------------------
     def cancel(self, rid: int, *, now: float) -> bool:
         """Cancel a reservation; unconsumed bandwidth returns to the pool.
 
         Returns True when anything was released (a confirmed or active
-        reservation); False for rejected/completed/already-cancelled ones.
+        reservation, or a live striped booking addressed by its base rid);
+        False for rejected/completed/already-terminated ones.
+        """
+        self._advance(now)
+        if rid in self._striped:
+            released = self._cancel_striped(rid, now)
+        else:
+            released = self._cancel_point(rid, now)
+        self._record("cancel", now, rid=rid)
+        if released:
+            self._readmit(now)
+        return released
+
+    def _cancel_point(self, rid: int, now: float) -> bool:
+        reservation = self._reservations.get(rid)
+        if reservation is None:
+            raise KeyError(f"unknown reservation {rid}")
+        if reservation.state(now) not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+            return False
+        alloc = reservation.allocation
+        assert alloc is not None
+        self._release_tail(alloc, now)
+        reservation.cancelled_at = now
+        return True
+
+    def _cancel_striped(self, base: int, now: float) -> bool:
+        booking = self._striped[base]
+        if booking is None or base in self._striped_cancelled:
+            return False
+        if now >= booking.finish:
+            return False  # already completed
+        for alloc in booking.allocations:
+            self._release_tail(alloc, now)
+        self._striped_cancelled[base] = now
+        return True
+
+    def _release_tail(self, alloc: Allocation, now: float) -> float:
+        """Return the unconsumed part of an allocation; MB released."""
+        release_from = max(now, alloc.sigma)
+        if release_from >= alloc.tau:
+            return 0.0
+        self._ledger.release(alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw)
+        return alloc.bw * (alloc.tau - release_from)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def abort(self, rid: int, *, now: float) -> bool:
+        """A transfer failed mid-flight; free its tail and try re-admission.
+
+        The volume carried so far is wasted (the paper's §6 motivation);
+        the reservation tail returns to the ledger and the re-admission
+        backlog immediately competes for it.  Returns False when the
+        reservation is not live (already completed/terminated/rejected).
         """
         self._advance(now)
         reservation = self._reservations.get(rid)
         if reservation is None:
             raise KeyError(f"unknown reservation {rid}")
-        state = reservation.state(now)
-        if state not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+        if reservation.state(now) not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
             return False
         alloc = reservation.allocation
         assert alloc is not None
-        release_from = max(now, alloc.sigma)
-        if release_from < alloc.tau:
-            self._ledger.release(
-                alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw
-            )
-        reservation.cancelled_at = now
+        freed = self._release_tail(alloc, now)
+        reservation.aborted_at = now
+        self.stats.aborted += 1
+        self.stats.wasted_volume += reservation.carried
+        self.stats.freed_volume += freed
+        self._record("abort", now, rid=rid)
+        self._readmit(now)
         return True
+
+    def degrade(
+        self,
+        *,
+        side: str,
+        port: int,
+        amount: float,
+        start: float,
+        end: float,
+        now: float,
+    ) -> list[Reservation]:
+        """Apply a capacity reduction; displace what no longer fits.
+
+        ``amount`` MB/s of the port's capacity become unavailable over
+        ``[start, end)`` (a full outage when ``amount`` reaches the port
+        capacity).  Committed reservations that exceed the remaining
+        capacity are cancelled latest-start-first — the most recently
+        booked work yields to older commitments — with the carried volume
+        checkpointed so callers can rebook the residual (``volume −
+        carried``), typically with backoff via
+        :class:`~repro.control.faults.FaultInjector`.
+
+        Returns the displaced reservations (empty when everything still
+        fits).
+        """
+        self._advance(now)
+        degradation = Degradation(side=side, port=port, t0=start, t1=end, amount=amount)
+        self._ledger.degrade(degradation)
+        self._degradations.append(degradation)
+        self.stats.degradations += 1
+        displaced: list[Reservation] = []
+        cap = self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
+        tol = CAPACITY_SLACK * max(1.0, cap)
+        while self._ledger.overcommit_on(side, port, start, end) > tol:
+            victim = self._displacement_victim(side, port, start, end, now)
+            if victim is None:
+                break  # remaining overcommit is not ours to resolve
+            alloc = victim.allocation
+            assert alloc is not None
+            freed = self._release_tail(alloc, now)
+            victim.displaced_at = now
+            self.stats.displaced += 1
+            self.stats.freed_volume += freed
+            displaced.append(victim)
+        self._record(
+            "degrade", now, side=side, port=port, amount=amount, start=start, end=end
+        )
+        self._readmit(now)
+        return displaced
+
+    def _displacement_victim(
+        self, side: str, port: int, start: float, end: float, now: float
+    ) -> Reservation | None:
+        """Latest-starting live reservation using the port inside the window."""
+        best: Reservation | None = None
+        for reservation in self._reservations.values():
+            if reservation.state(now) not in (
+                ReservationState.CONFIRMED,
+                ReservationState.ACTIVE,
+            ):
+                continue
+            alloc = reservation.allocation
+            assert alloc is not None
+            on_port = alloc.ingress == port if side == "ingress" else alloc.egress == port
+            if not on_port:
+                continue
+            # Only the not-yet-consumed part [max(now, σ), τ) still holds
+            # ledger capacity; it must overlap the degraded window.
+            live_from = max(now, alloc.sigma)
+            if live_from >= end or alloc.tau <= start:
+                continue
+            if best is None or (alloc.sigma, reservation.rid) > (
+                best.allocation.sigma,  # type: ignore[union-attr]
+                best.rid,
+            ):
+                best = reservation
+        return best
+
+    def _readmit(self, now: float) -> list[Reservation]:
+        """Offer freed capacity to the backlog of rejected requests (FIFO)."""
+        admitted: list[Reservation] = []
+        if not self._backlog:
+            return admitted
+        keep: list[int] = []
+        for rid in self._backlog:
+            original = self._reservations[rid].request
+            tol = deadline_tolerance(original.t_end)
+            if now + original.min_duration > original.t_end + tol:
+                continue  # deadline unreachable forever: prune
+            try:
+                candidate = Request(
+                    rid=self._next_rid,
+                    ingress=original.ingress,
+                    egress=original.egress,
+                    volume=original.volume,
+                    t_start=max(now, original.t_start),
+                    t_end=original.t_end,
+                    max_rate=original.max_rate,
+                )
+            except InvalidRequestError:
+                continue  # clipped window borderline-infeasible: prune
+            allocation = self._book(candidate)
+            if allocation is None:
+                keep.append(rid)
+                continue
+            new_rid = self._take_rid()
+            assert new_rid == candidate.rid
+            reservation = Reservation(
+                rid=new_rid, request=candidate, allocation=allocation, origin=rid
+            )
+            self._reservations[new_rid] = reservation
+            self.stats.readmitted += 1
+            self.stats.readmitted_volume += candidate.volume
+            admitted.append(reservation)
+        self._backlog = keep
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A canonical, JSON-able digest of the full service state.
+
+        Two services are state-identical iff their snapshots compare equal;
+        the replay tests rely on this.
+        """
+        ledger: dict[str, Any] = {"ingress": [], "egress": []}
+        for i in range(self.platform.num_ingress):
+            ledger["ingress"].append(list(self._ledger.ingress_timeline(i).segments()))
+        for e in range(self.platform.num_egress):
+            ledger["egress"].append(list(self._ledger.egress_timeline(e).segments()))
+        reservations = []
+        for rid in sorted(self._reservations):
+            r = self._reservations[rid]
+            reservations.append(
+                {
+                    "rid": r.rid,
+                    "request": r.request.to_dict(),
+                    "allocation": r.allocation.to_dict() if r.allocation else None,
+                    "cancelled_at": r.cancelled_at,
+                    "aborted_at": r.aborted_at,
+                    "displaced_at": r.displaced_at,
+                    "origin": r.origin,
+                }
+            )
+        striped = {}
+        for base in sorted(self._striped):
+            booking = self._striped[base]
+            striped[str(base)] = {
+                "allocations": [a.to_dict() for a in booking.allocations] if booking else None,
+                "finish": booking.finish if booking else None,
+                "cancelled_at": self._striped_cancelled.get(base),
+            }
+        return {
+            "clock": self._clock,
+            "next_rid": self._next_rid,
+            "reservations": reservations,
+            "striped": striped,
+            "backlog": list(self._backlog),
+            "degradations": [d.to_dict() for d in self._degradations],
+            "ledger": ledger,
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def replay(cls, journal: Journal) -> "ReservationService":
+        """Rebuild a service from its operation journal.
+
+        The journal header supplies the configuration; the recorded
+        operations are re-applied in order.  Because every operation —
+        including internal re-admission and displacement — is
+        deterministic, the result is state-identical to the service that
+        wrote the journal (``snapshot()`` equality).
+        """
+        header = journal.header
+        if not header:
+            raise ConfigurationError("journal has no header; cannot replay")
+        platform = Platform.from_dict(header["platform"])
+        policy = policy_from_name(header.get("policy", "min-bw"))
+        service = cls(
+            platform,
+            policy=policy,
+            backlog_limit=int(header.get("backlog_limit", 0)),
+            journal=None,
+        )
+        for entry in journal:
+            args = dict(entry.args)
+            if entry.op == "submit":
+                service.submit(
+                    ingress=int(args["ingress"]),
+                    egress=int(args["egress"]),
+                    volume=float(args["volume"]),
+                    deadline=float(args["deadline"]),
+                    now=entry.now,
+                    max_rate=args.get("max_rate"),
+                    origin=args.get("origin"),
+                )
+            elif entry.op == "submit_striped":
+                max_stream = args.get("max_stream_rate")
+                service.submit_striped(
+                    sources=[int(s) for s in args["sources"]],
+                    egress=int(args["egress"]),
+                    volume=float(args["volume"]),
+                    deadline=float(args["deadline"]),
+                    now=entry.now,
+                    max_stream_rate=float(max_stream) if max_stream is not None else None,
+                )
+            elif entry.op == "cancel":
+                service.cancel(int(args["rid"]), now=entry.now)
+            elif entry.op == "abort":
+                service.abort(int(args["rid"]), now=entry.now)
+            elif entry.op == "degrade":
+                service.degrade(
+                    side=str(args["side"]),
+                    port=int(args["port"]),
+                    amount=float(args["amount"]),
+                    start=float(args["start"]),
+                    end=float(args["end"]),
+                    now=entry.now,
+                )
+            else:  # pragma: no cover - Journal validates ops on construction
+                raise ConfigurationError(f"unknown journal op {entry.op!r}")
+        return service
 
     # ------------------------------------------------------------------
     def get(self, rid: int) -> Reservation:
@@ -236,18 +634,72 @@ class ReservationService:
             raise KeyError(f"unknown reservation {rid}") from None
 
     def reservations(self) -> list[Reservation]:
-        """All reservations, in submission order."""
+        """All point-to-point reservations, in submission order."""
         return [self._reservations[rid] for rid in sorted(self._reservations)]
 
+    def striped_bookings(self) -> dict[int, "StripedBooking | None"]:
+        """Striped submissions by base rid (``None`` marks a rejected one)."""
+        return dict(self._striped)
+
+    def degradations(self) -> list[Degradation]:
+        """Every capacity degradation applied so far, in order."""
+        return list(self._degradations)
+
     def accept_rate(self) -> float:
-        """Confirmed over submitted."""
-        if not self._reservations:
+        """Served client submissions over all client submissions.
+
+        A client submission counts as served when its own reservation was
+        confirmed **or** a later re-admission/rebooking linked to it (via
+        ``origin``) was.  Striped submissions count like any other.
+        """
+        roots = {r.rid for r in self._reservations.values() if r.origin is None}
+        total = len(roots) + len(self._striped)
+        if total == 0:
             return 0.0
-        confirmed = sum(r.confirmed for r in self._reservations.values())
-        return confirmed / len(self._reservations)
+        served: set[int] = set()
+        for r in self._reservations.values():
+            if r.confirmed:
+                served.add(self._root_of(r.rid))
+        striped_ok = sum(1 for b in self._striped.values() if b is not None)
+        return (len(served & roots) + striped_ok) / total
+
+    def _root_of(self, rid: int) -> int:
+        """Follow ``origin`` links back to the original client submission."""
+        seen = set()
+        while True:
+            origin = self._reservations[rid].origin
+            if origin is None or origin in seen:
+                return rid
+            seen.add(rid)
+            rid = origin
 
     def port_usage(self, t: float) -> tuple[list[float], list[float]]:
         """Committed bandwidth per (ingress, egress) port at time ``t``."""
         ins = [self._ledger.ingress_usage_at(i, t) for i in range(self.platform.num_ingress)]
         outs = [self._ledger.egress_usage_at(e, t) for e in range(self.platform.num_egress)]
         return ins, outs
+
+    def max_overcommit(self) -> float:
+        """Worst ``usage − effective capacity`` across all ports (≤ 0 ⇔ valid)."""
+        return self._ledger.max_overcommit()
+
+    def surviving_schedule(self) -> tuple[RequestSet, ScheduleResult]:
+        """The live schedule as (requests, result) for ``verify_schedule``.
+
+        Accepted: every confirmed reservation not terminated early (its
+        full allocation holds ledger capacity).  Rejected: client
+        submissions that were never admitted.  Terminated reservations
+        (cancelled / aborted / displaced) are excluded from both — their
+        consumed heads remain in the service ledger but no longer
+        constitute scheduled transfers.
+        """
+        requests = []
+        result = ScheduleResult(scheduler=f"service[{self.policy.name}]")
+        for r in self.reservations():
+            if r.confirmed and r.terminated_at is None:
+                requests.append(r.request)
+                result.accept(r.allocation)
+            elif not r.confirmed:
+                requests.append(r.request)
+                result.reject(r.rid, "capacity")
+        return RequestSet(requests), result

@@ -54,14 +54,14 @@ def _stripe_rates(
     max_stream_rate: float | None,
 ) -> list[float] | None:
     """Water-fill per-source headroom up to ``needed_rate``; None if short."""
-    free_egress = platform.bout(egress) - ledger.egress_timeline(egress).max_usage(t0, t1)
+    free_egress = ledger.free_capacity("egress", egress, t0, t1)
     budget = min(needed_rate, free_egress)
     if budget < needed_rate * (1 - 1e-12):
         return None
     rates: list[float] = []
     remaining = needed_rate
     for source in sources:
-        free = platform.bin(source) - ledger.ingress_timeline(source).max_usage(t0, t1)
+        free = ledger.free_capacity("ingress", source, t0, t1)
         if max_stream_rate is not None:
             free = min(free, max_stream_rate)
         rate = max(0.0, min(free, remaining))
@@ -107,24 +107,23 @@ def plan_striped(
     # the interval shrinks), so the first horizon that works is optimal up
     # to that conservatism.
     candidates = {t_end}
-    timelines = [ledger.egress_timeline(egress)] + [ledger.ingress_timeline(s) for s in sources]
-    for timeline in timelines:
-        for t in timeline.breakpoints():
-            if t_start < t < t_end:
-                candidates.add(float(t))
+    points: list[float] = list(ledger.egress_timeline(egress).breakpoints())
+    points.extend(ledger.degradation_breakpoints("egress", egress))
+    for s in sources:
+        points.extend(ledger.ingress_timeline(s).breakpoints())
+        points.extend(ledger.degradation_breakpoints("ingress", s))
+    for t in points:
+        if t_start < t < t_end:
+            candidates.add(float(t))
 
     def achievable_rate(horizon: float) -> float:
-        free_egress = platform.bout(egress) - ledger.egress_timeline(egress).max_usage(
-            t_start, horizon
-        )
+        free_egress = ledger.free_capacity("egress", egress, t_start, horizon)
         total = 0.0
         for source in sources:
-            free = platform.bin(source) - ledger.ingress_timeline(source).max_usage(
-                t_start, horizon
-            )
+            free = ledger.free_capacity("ingress", source, t_start, horizon)
             if max_stream_rate is not None:
                 free = min(free, max_stream_rate)
-            total += max(0.0, free)
+            total += free
         return max(0.0, min(free_egress, total))
 
     for horizon in sorted(candidates):

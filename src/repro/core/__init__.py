@@ -6,6 +6,7 @@ requests with transmission windows, ingress/egress capacity constraints
 """
 
 from .allocation import Allocation, ScheduleResult, verify_schedule
+from .booking import book_earliest, earliest_fit
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -13,7 +14,7 @@ from .errors import (
     ReproError,
     ScheduleViolation,
 )
-from .ledger import PortLedger
+from .ledger import Degradation, PortLedger
 from .objectives import (
     accept_rate,
     demanded_bandwidth,
@@ -33,6 +34,7 @@ __all__ = [
     "BandwidthTimeline",
     "CapacityError",
     "ConfigurationError",
+    "Degradation",
     "InvalidRequestError",
     "Platform",
     "PortLedger",
@@ -43,7 +45,9 @@ __all__ = [
     "ScheduleResult",
     "ScheduleViolation",
     "accept_rate",
+    "book_earliest",
     "demanded_bandwidth",
+    "earliest_fit",
     "guaranteed_count",
     "guaranteed_rate",
     "resource_utilization",

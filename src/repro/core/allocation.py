@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from .errors import ScheduleViolation
-from .ledger import PortLedger
+from .ledger import Degradation, PortLedger
 from .platform import Platform
 from .request import Request, RequestSet
 
@@ -210,6 +210,7 @@ def verify_schedule(
     enforce_window: bool = True,
     require_all_decided: bool = True,
     rtol: float = VERIFY_RTOL,
+    degradations: Iterable[Degradation] = (),
 ) -> None:
     """Check a schedule against the paper's constraints, or raise.
 
@@ -224,7 +225,8 @@ def verify_schedule(
     4. window bounds: ``σ ≥ t_s`` and ``τ ≤ t_f`` (skipped when
        ``enforce_window=False``, for deliberately deadline-relaxed modes);
     5. capacity (Eq. 1): on every port, at every instant, committed
-       bandwidth stays within capacity.
+       bandwidth stays within capacity — the *effective* capacity when
+       ``degradations`` (outages / partial failures) are supplied.
 
     Raises
     ------
@@ -274,6 +276,8 @@ def verify_schedule(
                 )
 
     ledger = result.build_ledger(platform)
+    for degradation in degradations:
+        ledger.degrade(degradation)
     overcommit = ledger.max_overcommit()
     max_cap = max(
         float(platform.ingress_capacity.max()), float(platform.egress_capacity.max())

@@ -1,0 +1,106 @@
+"""Shared earliest-fit book-ahead search.
+
+Several layers run the same search: "find the earliest start within the
+request's window at which a rate assignment fits the ledger" — the
+:class:`~repro.control.service.ReservationService` on every submit, the
+offline salvage pass of :mod:`repro.grid.failures`, and the re-admission /
+rebooking paths of the fault-tolerant control plane.  This module is the
+single implementation they all delegate to.
+
+Candidate starts are the request's window opening plus every instant where
+the pair's available capacity can change: usage breakpoints of both port
+timelines and, on degraded ledgers, the capacity-change instants.  Between
+two consecutive candidates the available capacity is constant, so checking
+only candidates is exhaustive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .allocation import Allocation
+from .ledger import PortLedger
+from .request import Request
+
+__all__ = ["earliest_fit", "book_earliest", "deadline_tolerance"]
+
+
+def deadline_tolerance(t_end: float) -> float:
+    """Absolute-plus-relative slack for deadline comparisons.
+
+    Matches the window checks of :func:`~repro.core.allocation.verify_schedule`:
+    an absolute floor keeps the tolerance meaningful for deadlines at or
+    near ``t = 0``, where a purely relative one collapses to nothing.
+    """
+    return 1e-9 * max(1.0, abs(t_end))
+
+
+def _min_rate_for(request: Request, sigma: float) -> float | None:
+    """Default rate rule: the deadline-implied minimum, capped at MaxRate."""
+    needed = request.rate_for_deadline(sigma)
+    if needed > request.max_rate * (1 + 1e-9):
+        return None
+    return min(needed, request.max_rate)
+
+
+def earliest_fit(
+    ledger: PortLedger,
+    request: Request,
+    rate_for: Callable[[float], float | None] | None = None,
+    *,
+    not_before: float | None = None,
+) -> Allocation | None:
+    """Earliest feasible allocation for ``request`` against ``ledger``.
+
+    ``rate_for(sigma)`` maps a candidate start to the rate to try there (a
+    bandwidth policy bound to the request), returning ``None`` when no
+    admissible rate exists from that start.  The default grants the
+    deadline-implied minimum rate.  ``not_before`` further constrains the
+    search (e.g. "no earlier than the service clock").  The ledger is not
+    modified; use :func:`book_earliest` to also commit the result.
+    """
+    if rate_for is None:
+        rate_for = lambda sigma: _min_rate_for(request, sigma)  # noqa: E731
+    earliest = request.t_start if not_before is None else max(request.t_start, not_before)
+    latest = request.t_end - request.min_duration
+    if latest < earliest:
+        return None
+    starts = {earliest}
+    points: list[float] = list(ledger.ingress_timeline(request.ingress).breakpoints())
+    points.extend(ledger.egress_timeline(request.egress).breakpoints())
+    points.extend(ledger.degradation_breakpoints("ingress", request.ingress))
+    points.extend(ledger.degradation_breakpoints("egress", request.egress))
+    for t in points:
+        if earliest < t <= latest:
+            starts.add(float(t))
+    tol = deadline_tolerance(request.t_end)
+    for sigma in sorted(starts):
+        bw = rate_for(sigma)
+        if bw is None or bw <= 0:
+            continue
+        tau = sigma + request.volume / bw
+        if tau > request.t_end + tol:
+            continue
+        if ledger.fits(request.ingress, request.egress, sigma, tau, bw):
+            return Allocation.for_request(request, bw, sigma=sigma)
+    return None
+
+
+def book_earliest(
+    ledger: PortLedger,
+    request: Request,
+    rate_for: Callable[[float], float | None] | None = None,
+    *,
+    not_before: float | None = None,
+) -> Allocation | None:
+    """:func:`earliest_fit`, committing the allocation when one is found."""
+    allocation = earliest_fit(ledger, request, rate_for, not_before=not_before)
+    if allocation is not None:
+        ledger.allocate(
+            allocation.ingress,
+            allocation.egress,
+            allocation.sigma,
+            allocation.tau,
+            allocation.bw,
+        )
+    return allocation

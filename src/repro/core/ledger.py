@@ -10,17 +10,26 @@ Schedulers use the ledger in two modes:
 - *query* (``fits``): would a constant allocation of ``bw`` on the pair
   ``(ingress, egress)`` over ``[t0, t1)`` stay within both capacities?
 - *mutate* (``allocate`` / ``release``): commit or return bandwidth.
+
+Capacities may be **time-varying**: :meth:`PortLedger.degrade` registers a
+capacity reduction over an interval (a maintenance window, a partial link
+failure, or a full outage when the reduction equals the port capacity).
+Reductions are tracked on separate timelines so committed usage and lost
+capacity stay independently inspectable; every query (``fits``,
+``headroom``, ``max_overcommit``) accounts for them.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
 
-from .errors import CapacityError
+from .errors import CapacityError, ConfigurationError
 from .platform import Platform
 from .timeline import BandwidthTimeline
 
-__all__ = ["PortLedger", "CAPACITY_SLACK"]
+__all__ = ["PortLedger", "Degradation", "CAPACITY_SLACK"]
 
 #: Relative numerical slack applied to capacity comparisons.  Bandwidth
 #: values are sums of floats; a strict ``<=`` would reject exact fits that
@@ -28,15 +37,57 @@ __all__ = ["PortLedger", "CAPACITY_SLACK"]
 CAPACITY_SLACK: float = 1e-9
 
 
+@dataclass(frozen=True, slots=True)
+class Degradation:
+    """A capacity reduction on one port over a finite interval.
+
+    ``amount`` MB/s are unavailable on the port over ``[t0, t1)``; an
+    ``amount`` at or above the port capacity models a full outage.
+    """
+
+    side: str  # "ingress" | "egress"
+    port: int
+    t0: float
+    t1: float
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.side not in ("ingress", "egress"):
+            raise ConfigurationError(f"side must be 'ingress' or 'egress', got {self.side!r}")
+        if not (self.t1 > self.t0) or not math.isfinite(self.t0) or not math.isfinite(self.t1):
+            raise ConfigurationError(f"degradation window [{self.t0}, {self.t1}) must be finite and non-empty")
+        if self.amount <= 0:
+            raise ConfigurationError(f"degradation amount must be positive, got {self.amount}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation (JSON friendly)."""
+        return {"side": self.side, "port": self.port, "t0": self.t0, "t1": self.t1, "amount": self.amount}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Degradation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            side=str(data["side"]),
+            port=int(data["port"]),
+            t0=float(data["t0"]),
+            t1=float(data["t1"]),
+            amount=float(data["amount"]),
+        )
+
+
 class PortLedger:
     """Tracks committed bandwidth on every access point of a platform."""
 
-    __slots__ = ("platform", "_ingress", "_egress")
+    __slots__ = ("platform", "_ingress", "_egress", "_ingress_red", "_egress_red")
 
     def __init__(self, platform: Platform) -> None:
         self.platform = platform
         self._ingress = [BandwidthTimeline() for _ in range(platform.num_ingress)]
         self._egress = [BandwidthTimeline() for _ in range(platform.num_egress)]
+        # Capacity-reduction timelines, created lazily: most simulations
+        # never degrade a port and must not pay for the possibility.
+        self._ingress_red: list[BandwidthTimeline | None] = [None] * platform.num_ingress
+        self._egress_red: list[BandwidthTimeline | None] = [None] * platform.num_egress
 
     # ------------------------------------------------------------------
     def ingress_timeline(self, i: int) -> BandwidthTimeline:
@@ -48,23 +99,116 @@ class PortLedger:
         return self._egress[e]
 
     # ------------------------------------------------------------------
+    # Time-varying capacity
+    # ------------------------------------------------------------------
+    def degrade(self, degradation: Degradation) -> None:
+        """Register a capacity reduction (see :class:`Degradation`).
+
+        Degradations are external facts, not allocations: they are applied
+        unconditionally and may leave already-committed reservations beyond
+        the remaining capacity — callers inspect :meth:`overcommit_on` to
+        find and displace them.
+        """
+        usage, reductions = self._side(degradation.side)
+        if not (0 <= degradation.port < len(usage)):
+            raise ConfigurationError(
+                f"no {degradation.side} port {degradation.port} on this platform"
+            )
+        red = reductions[degradation.port]
+        if red is None:
+            red = BandwidthTimeline()
+            reductions[degradation.port] = red
+        red.add(degradation.t0, degradation.t1, degradation.amount)
+
+    def _side(
+        self, side: str
+    ) -> tuple[list[BandwidthTimeline], list[BandwidthTimeline | None]]:
+        if side == "ingress":
+            return self._ingress, self._ingress_red
+        if side == "egress":
+            return self._egress, self._egress_red
+        raise ConfigurationError(f"side must be 'ingress' or 'egress', got {side!r}")
+
+    def _base_capacity(self, side: str, port: int) -> float:
+        return self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
+
+    def capacity_at(self, side: str, port: int, t: float) -> float:
+        """Effective capacity of a port at time ``t`` (never negative)."""
+        _, reductions = self._side(side)
+        base = self._base_capacity(side, port)
+        red = reductions[port]
+        if red is None:
+            return base
+        return max(0.0, base - red.usage_at(t))
+
+    def free_capacity(self, side: str, port: int, t0: float, t1: float) -> float:
+        """Guaranteed free bandwidth on a port over all of ``[t0, t1)``.
+
+        The minimum over the interval of ``capacity(t) - usage(t)``, floored
+        at zero; the largest constant rate the port can still carry there.
+        """
+        usage, reductions = self._side(side)
+        base = self._base_capacity(side, port)
+        red = reductions[port]
+        if red is None:
+            return max(0.0, base - usage[port].max_usage(t0, t1))
+        free = math.inf
+        for seg_start, seg_end, reduction in red.segments(t0, t1):
+            effective = max(0.0, base - reduction)
+            free = min(free, effective - usage[port].max_usage(seg_start, seg_end))
+        return max(0.0, free)
+
+    def overcommit_on(self, side: str, port: int, t0: float, t1: float) -> float:
+        """Worst ``usage - capacity`` on one port over ``[t0, t1)``.
+
+        Positive values mean committed reservations exceed the (possibly
+        degraded) capacity somewhere in the interval.
+        """
+        usage, reductions = self._side(side)
+        base = self._base_capacity(side, port)
+        red = reductions[port]
+        if red is None:
+            return usage[port].max_usage(t0, t1) - base
+        worst = -math.inf
+        for seg_start, seg_end, reduction in red.segments(t0, t1):
+            effective = max(0.0, base - reduction)
+            worst = max(worst, usage[port].max_usage(seg_start, seg_end) - effective)
+        return worst
+
+    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]:
+        """Finite instants where a port's effective capacity changes."""
+        _, reductions = self._side(side)
+        red = reductions[port]
+        if red is not None:
+            yield from red.breakpoints()
+
+    # ------------------------------------------------------------------
     def fits(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> bool:
         """True when ``bw`` fits on both ports over all of ``[t0, t1)``."""
         cap_in = self.platform.bin(ingress)
         cap_out = self.platform.bout(egress)
-        slack_in = cap_in * CAPACITY_SLACK
-        slack_out = cap_out * CAPACITY_SLACK
-        if self._ingress[ingress].max_usage(t0, t1) + bw > cap_in + slack_in:
+        if self._ingress_red[ingress] is None and self._egress_red[egress] is None:
+            # Fast path: constant capacities (the overwhelmingly common case).
+            slack_in = cap_in * CAPACITY_SLACK
+            slack_out = cap_out * CAPACITY_SLACK
+            if self._ingress[ingress].max_usage(t0, t1) + bw > cap_in + slack_in:
+                return False
+            if self._egress[egress].max_usage(t0, t1) + bw > cap_out + slack_out:
+                return False
+            return True
+        slack = max(cap_in, cap_out) * CAPACITY_SLACK
+        if self.free_capacity("ingress", ingress, t0, t1) + slack < bw:
             return False
-        if self._egress[egress].max_usage(t0, t1) + bw > cap_out + slack_out:
+        if self.free_capacity("egress", egress, t0, t1) + slack < bw:
             return False
         return True
 
     def headroom(self, ingress: int, egress: int, t0: float, t1: float) -> float:
         """Largest constant bandwidth allocatable on the pair over ``[t0, t1)``."""
-        free_in = self.platform.bin(ingress) - self._ingress[ingress].max_usage(t0, t1)
-        free_out = self.platform.bout(egress) - self._egress[egress].max_usage(t0, t1)
-        return max(0.0, min(free_in, free_out))
+        return min(
+            self.free_capacity("ingress", ingress, t0, t1),
+            self.free_capacity("egress", egress, t0, t1),
+        )
 
     def allocate(
         self,
@@ -112,13 +256,36 @@ class PortLedger:
         """Worst-case overshoot ``usage - capacity`` across all ports.
 
         Non-positive for a valid ledger; used by the verifier and tests.
+        Accounts for time-varying capacity on degraded ports.
         """
         worst = -math.inf
-        for i, tl in enumerate(self._ingress):
-            worst = max(worst, tl.global_max() - self.platform.bin(i))
-        for e, tl in enumerate(self._egress):
-            worst = max(worst, tl.global_max() - self.platform.bout(e))
+        for side, timelines in (("ingress", self._ingress), ("egress", self._egress)):
+            for port, tl in enumerate(timelines):
+                reductions = self._ingress_red if side == "ingress" else self._egress_red
+                if reductions[port] is None:
+                    worst = max(worst, tl.global_max() - self._base_capacity(side, port))
+                else:
+                    span = self._span(tl, reductions[port])
+                    if span is None:
+                        worst = max(worst, tl.global_max() - self._base_capacity(side, port))
+                    else:
+                        worst = max(worst, self.overcommit_on(side, port, *span))
         return worst
+
+    @staticmethod
+    def _span(*timelines: BandwidthTimeline | None) -> tuple[float, float] | None:
+        """A finite interval covering every breakpoint of the timelines."""
+        lo, hi = math.inf, -math.inf
+        for tl in timelines:
+            if tl is None:
+                continue
+            points = tl.breakpoints()
+            if points.size:
+                lo = min(lo, float(points[0]))
+                hi = max(hi, float(points[-1]))
+        if lo >= hi:
+            return None
+        return lo, hi + 1.0  # cover the final right-open segment start
 
     def carried_volume(self, t0: float, t1: float) -> float:
         """Total MB carried through the network over ``[t0, t1)``.
@@ -145,4 +312,6 @@ class PortLedger:
         clone.platform = self.platform
         clone._ingress = [tl.copy() for tl in self._ingress]
         clone._egress = [tl.copy() for tl in self._egress]
+        clone._ingress_red = [tl.copy() if tl is not None else None for tl in self._ingress_red]
+        clone._egress_red = [tl.copy() if tl is not None else None for tl in self._egress_red]
         return clone

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..core.objectives import resource_utilization_time_averaged
-from ..core.problem import ProblemInstance
 from ..fairness import FluidSimulation
 from ..metrics.report import Table
 from ..schedulers import (

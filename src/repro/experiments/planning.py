@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
 
 from ..core.platform import Platform
 from ..core.problem import ProblemInstance

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.allocation import ScheduleResult
+from ..core.booking import book_earliest
 from ..core.errors import ConfigurationError
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
@@ -87,27 +88,11 @@ def simulate_aborts(
             )
 
     if salvage:
-        rejected = sorted(result.rejected)
-        for rid in rejected:
+        # The salvage pass is the offline face of the online re-admission
+        # path: the same earliest-fit book-ahead search the reservation
+        # service runs (``repro.core.booking``), applied to the freed ledger.
+        for rid in sorted(result.rejected):
             request = problem.requests.by_rid(rid)
-            latest = request.t_end - request.min_duration
-            if latest < request.t_start:
-                continue
-            starts = {request.t_start}
-            for timeline in (
-                ledger.ingress_timeline(request.ingress),
-                ledger.egress_timeline(request.egress),
-            ):
-                for t in timeline.breakpoints():
-                    if request.t_start < t <= latest:
-                        starts.add(float(t))
-            for sigma in sorted(starts):
-                bw = request.rate_for_deadline(sigma)
-                if bw > request.max_rate * (1 + 1e-12):
-                    continue
-                tau = sigma + request.volume / bw
-                if ledger.fits(request.ingress, request.egress, sigma, tau, bw):
-                    ledger.allocate(request.ingress, request.egress, sigma, tau, bw)
-                    report.salvageable.append(rid)
-                    break
+            if book_earliest(ledger, request) is not None:
+                report.salvageable.append(rid)
     return report

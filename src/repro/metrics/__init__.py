@@ -1,10 +1,12 @@
 """Evaluation metrics and report tables."""
 
 from .collector import MetricsReport, evaluate, jain_index
+from .faults import FaultStats
 from .report import Table
 from .steady import accept_rate_series, steady_accept_rate, steady_window
 
 __all__ = [
+    "FaultStats",
     "MetricsReport",
     "Table",
     "accept_rate_series",

@@ -7,7 +7,7 @@ interval-based scheduling), granted-rate quality, per-port balance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np

@@ -1,0 +1,85 @@
+"""Fault-tolerance counters for the online reservation control plane.
+
+The paper motivates reservations with reliability — "a large amount of
+resources could be wasted when long transfer failure occurs" (§6).  When
+the control plane runs with failure injection (:mod:`repro.control.faults`)
+these counters quantify the damage and the recovery:
+
+- **wasted volume** — MB carried by transfers that later aborted;
+- **freed volume** — MB of reservation tail returned to the ledger by
+  aborts, cancellations, and outage displacements;
+- **recovered volume** — MB of residual transfer successfully rebooked
+  after an outage displaced the original reservation;
+- **re-admission rate** — fraction of backlogged rejections later admitted
+  into freed capacity;
+- **mean time to rebook** — displacement-to-rebooking latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """Mutable counters owned by a :class:`~repro.control.service.ReservationService`."""
+
+    #: Mid-flight transfer aborts processed.
+    aborted: int = 0
+    #: Port degradations / outages applied.
+    degradations: int = 0
+    #: Reservations cancelled because a degradation left them infeasible.
+    displaced: int = 0
+    #: MB carried by transfers before they aborted (burned for nothing).
+    wasted_volume: float = 0.0
+    #: MB of reservation tail returned to the ledger by aborts/displacements.
+    freed_volume: float = 0.0
+    #: Residual MB successfully rebooked after displacement.
+    recovered_volume: float = 0.0
+    #: Rebooking submissions attempted for displaced residuals.
+    rebook_attempts: int = 0
+    #: Displaced reservations whose residual was successfully rebooked.
+    rebooked: int = 0
+    #: Σ (rebooked_at − displaced_at) over successful rebookings, seconds.
+    rebook_wait_total: float = 0.0
+    #: Rejected requests pushed onto the re-admission backlog.
+    backlogged: int = 0
+    #: Backlogged rejections later admitted into freed capacity.
+    readmitted: int = 0
+    #: MB admitted through backlog re-admission.
+    readmitted_volume: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def readmission_rate(self) -> float:
+        """Backlogged rejections that were eventually admitted."""
+        return self.readmitted / self.backlogged if self.backlogged else 0.0
+
+    @property
+    def rebook_rate(self) -> float:
+        """Displaced reservations whose residual volume found a new slot."""
+        return self.rebooked / self.displaced if self.displaced else 0.0
+
+    @property
+    def mean_time_to_rebook(self) -> float:
+        """Mean displacement-to-rebooking latency in seconds."""
+        return self.rebook_wait_total / self.rebooked if self.rebooked else 0.0
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Counters plus derived rates, flat (CSV/JSON friendly)."""
+        out = asdict(self)
+        out["readmission_rate"] = self.readmission_rate
+        out["rebook_rate"] = self.rebook_rate
+        out["mean_time_to_rebook"] = self.mean_time_to_rebook
+        return out
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        """Elementwise sum (aggregating replications); returns a new object."""
+        merged = FaultStats()
+        for key, value in asdict(self).items():
+            setattr(merged, key, value + getattr(other, key))
+        return merged

@@ -19,7 +19,7 @@ unpredictability vs reserved stability, not a packet-exact NS replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,13 +20,20 @@ from .costs import (
 )
 from .flexible import GreedyFlexible, WindowFlexible
 from .localsearch import LocalSearchScheduler
-from .policies import BandwidthPolicy, FractionOfMaxPolicy, FullRatePolicy, MinRatePolicy
+from .policies import (
+    BandwidthPolicy,
+    FractionOfMaxPolicy,
+    FullRatePolicy,
+    MinRatePolicy,
+    policy_from_name,
+)
 from .registry import available_schedulers, make_scheduler, register_scheduler
-from .retry import RetryGreedyFlexible
+from .retry import BackoffSchedule, RetryGreedyFlexible
 from .rigid import FCFSRigid, SlotsScheduler, cumulated_slots, fifo_slots, minbw_slots, minvol_slots
 
 __all__ = [
     "ArrivalCost",
+    "BackoffSchedule",
     "BandwidthPolicy",
     "CumulatedCost",
     "EarliestStartFlexible",
@@ -50,6 +57,7 @@ __all__ = [
     "make_scheduler",
     "minbw_slots",
     "minvol_slots",
+    "policy_from_name",
     "priority_factor",
     "register_scheduler",
 ]

@@ -24,7 +24,13 @@ from dataclasses import dataclass
 from ..core.errors import ConfigurationError
 from ..core.request import Request
 
-__all__ = ["BandwidthPolicy", "MinRatePolicy", "FractionOfMaxPolicy", "FullRatePolicy"]
+__all__ = [
+    "BandwidthPolicy",
+    "MinRatePolicy",
+    "FractionOfMaxPolicy",
+    "FullRatePolicy",
+    "policy_from_name",
+]
 
 
 class BandwidthPolicy(abc.ABC):
@@ -84,3 +90,19 @@ class FractionOfMaxPolicy(BandwidthPolicy):
 def FullRatePolicy() -> FractionOfMaxPolicy:
     """``f = 1``: every accepted request gets its full ``MaxRate``."""
     return FractionOfMaxPolicy(1.0)
+
+
+def policy_from_name(name: str) -> BandwidthPolicy:
+    """Reconstruct a policy from its ``name`` attribute.
+
+    The inverse of the naming scheme above (``"min-bw"``, ``"f=0.8"``);
+    used by the journal replay path to rebuild a service from its header.
+    """
+    if name == MinRatePolicy.name:
+        return MinRatePolicy()
+    if name.startswith("f="):
+        try:
+            return FractionOfMaxPolicy(float(name[2:]))
+        except ValueError as exc:
+            raise ConfigurationError(f"malformed policy name {name!r}") from exc
+    raise ConfigurationError(f"unknown policy name {name!r}")

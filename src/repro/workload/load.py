@@ -17,7 +17,6 @@ a *target* load directly.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.platform import Platform
 from ..core.request import RequestSet

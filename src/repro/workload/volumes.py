@@ -10,7 +10,7 @@ distributions are provided for sensitivity studies.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

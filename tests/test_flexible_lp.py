@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ConfigurationError, Platform, ProblemInstance, Request, RequestSet
+from repro.core import Platform, ProblemInstance, Request, RequestSet
 from repro.exact import flexible_lp_bound, max_requests_rigid_exact
 from repro.schedulers import (
     EarliestStartFlexible,

@@ -1,0 +1,112 @@
+"""Tests for the operation journal and crash-recovery replay."""
+
+import json
+
+import pytest
+
+from repro.control import Journal, JournalEntry, ReservationService
+from repro.control.journal import JOURNAL_FORMAT
+from repro.core import ConfigurationError, Platform
+from repro.schedulers import FractionOfMaxPolicy
+
+
+@pytest.fixture
+def platform():
+    return Platform.uniform(2, 2, 100.0)
+
+
+class TestJournalEntry:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JournalEntry(op="frobnicate", now=0.0, args={})
+
+    def test_round_trip_dict(self):
+        entry = JournalEntry(op="cancel", now=3.5, args={"rid": 7})
+        again = JournalEntry.from_dict(entry.to_dict())
+        assert again.op == "cancel"
+        assert again.now == 3.5
+        assert dict(again.args) == {"rid": 7}
+
+
+class TestSerialisation:
+    def test_jsonl_round_trip(self, platform):
+        journal = Journal()
+        ReservationService(platform, journal=journal).submit(
+            ingress=0, egress=1, volume=100.0, deadline=50.0, now=0.0
+        )
+        text = journal.to_jsonl()
+        again = Journal.from_jsonl(text)
+        assert again.header == journal.header
+        assert len(again) == 1
+        assert again.entries[0].op == "submit"
+
+    def test_header_first_line_has_format_tag(self, platform):
+        journal = Journal()
+        ReservationService(platform, journal=journal)
+        first = json.loads(journal.to_jsonl().splitlines()[0])
+        assert first["format"] == JOURNAL_FORMAT
+        assert first["platform"] == platform.to_dict()
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ConfigurationError):
+            Journal.from_jsonl('{"format": "something-else/9"}\n')
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Journal.from_jsonl("")
+
+    def test_file_backed_appends(self, platform, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        journal = Journal(path=path)
+        service = ReservationService(platform, journal=journal)
+        service.submit(ingress=0, egress=1, volume=100.0, deadline=50.0, now=0.0)
+        service.cancel(0, now=1.0)
+        # every append hit the disk immediately: load without a save() call
+        loaded = Journal.load(path)
+        assert [e.op for e in loaded] == ["submit", "cancel"]
+        assert loaded.header == journal.header
+
+    def test_save_load_round_trip(self, platform, tmp_path):
+        journal = Journal()
+        service = ReservationService(platform, journal=journal)
+        service.submit(ingress=0, egress=1, volume=100.0, deadline=50.0, now=0.0)
+        path = tmp_path / "saved.jsonl"
+        journal.save(path)
+        assert Journal.load(path).to_jsonl() == journal.to_jsonl()
+
+
+class TestReplay:
+    def test_replay_requires_header(self):
+        with pytest.raises(ConfigurationError):
+            ReservationService.replay(Journal())
+
+    def test_replay_rebuilds_identical_state(self, platform):
+        journal = Journal()
+        service = ReservationService(
+            platform,
+            policy=FractionOfMaxPolicy(0.5),
+            backlog_limit=4,
+            journal=journal,
+        )
+        service.submit(ingress=0, egress=0, volume=20_000.0, deadline=500.0, now=0.0)
+        service.submit(ingress=0, egress=0, volume=10_000.0, deadline=120.0, now=1.0)
+        service.submit_striped(sources=[0, 1], egress=1, volume=500.0, deadline=100.0, now=2.0)
+        service.abort(0, now=10.0)
+        service.degrade(side="egress", port=0, amount=100.0, start=20.0, end=40.0, now=20.0)
+        service.cancel(1, now=25.0) if service.get(1).confirmed else None
+
+        rebuilt = ReservationService.replay(journal)
+        assert rebuilt.snapshot() == service.snapshot()
+        assert rebuilt.policy.name == service.policy.name
+        assert rebuilt.backlog_limit == 4
+
+    def test_replay_from_disk_after_crash(self, platform, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        service = ReservationService(platform, backlog_limit=2, journal=Journal(path=path))
+        service.submit(ingress=0, egress=1, volume=5000.0, deadline=100.0, now=0.0)
+        service.submit(ingress=1, egress=0, volume=3000.0, deadline=80.0, now=5.0)
+        service.abort(0, now=10.0)
+        before = service.snapshot()
+        del service  # "crash"
+        rebuilt = ReservationService.replay(Journal.load(path))
+        assert rebuilt.snapshot() == before

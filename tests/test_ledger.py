@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CapacityError, Platform, PortLedger
+from repro.core import CapacityError, ConfigurationError, Degradation, Platform, PortLedger
 
 
 @pytest.fixture
@@ -83,6 +83,81 @@ class TestQueries:
         ledger.allocate(1, 0, 2.0, 4.0, 5.0)
         assert ledger.ingress_timeline(1).usage_at(3.0) == pytest.approx(5.0)
         assert ledger.egress_timeline(0).usage_at(3.0) == pytest.approx(5.0)
+
+
+class TestDegradation:
+    """Time-varying capacity: outages and partial failures."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Degradation("sideways", 0, 0.0, 1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            Degradation("ingress", 0, 5.0, 5.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            Degradation("ingress", 0, 0.0, 1.0, -10.0)
+
+    def test_capacity_at(self, ledger):
+        ledger.degrade(Degradation("ingress", 0, 10.0, 20.0, 30.0))
+        assert ledger.capacity_at("ingress", 0, 5.0) == pytest.approx(100.0)
+        assert ledger.capacity_at("ingress", 0, 15.0) == pytest.approx(70.0)
+        assert ledger.capacity_at("ingress", 0, 20.0) == pytest.approx(100.0)
+
+    def test_outage_floors_at_zero(self, ledger):
+        ledger.degrade(Degradation("egress", 1, 0.0, 10.0, 500.0))
+        assert ledger.capacity_at("egress", 1, 5.0) == 0.0
+        assert not ledger.fits(0, 1, 0.0, 10.0, 1.0)
+        assert ledger.fits(0, 1, 10.0, 20.0, 80.0)
+
+    def test_fits_respects_degraded_window(self, ledger):
+        ledger.degrade(Degradation("ingress", 0, 10.0, 20.0, 60.0))
+        assert ledger.fits(0, 0, 0.0, 10.0, 100.0)   # before the fault
+        assert not ledger.fits(0, 0, 5.0, 15.0, 50.0)  # overlaps it
+        assert ledger.fits(0, 0, 5.0, 15.0, 40.0)
+
+    def test_headroom_under_degradation(self, ledger):
+        ledger.degrade(Degradation("egress", 0, 0.0, 10.0, 40.0))
+        ledger.allocate(0, 0, 0.0, 10.0, 30.0)
+        assert ledger.headroom(0, 0, 0.0, 10.0) == pytest.approx(30.0)  # 100-40-30
+        assert ledger.headroom(0, 0, 10.0, 20.0) == pytest.approx(100.0)
+
+    def test_degradations_stack(self, ledger):
+        ledger.degrade(Degradation("ingress", 0, 0.0, 10.0, 30.0))
+        ledger.degrade(Degradation("ingress", 0, 5.0, 15.0, 30.0))
+        assert ledger.capacity_at("ingress", 0, 7.0) == pytest.approx(40.0)
+        assert ledger.free_capacity("ingress", 0, 0.0, 15.0) == pytest.approx(40.0)
+
+    def test_overcommit_accounts_for_degradation(self, ledger):
+        ledger.allocate(0, 0, 0.0, 10.0, 80.0)
+        assert ledger.max_overcommit() <= 0.0
+        ledger.degrade(Degradation("ingress", 0, 5.0, 8.0, 50.0))
+        assert ledger.max_overcommit() == pytest.approx(30.0)  # 80 - (100-50)
+        assert ledger.overcommit_on("ingress", 0, 5.0, 8.0) == pytest.approx(30.0)
+        assert ledger.overcommit_on("ingress", 0, 0.0, 5.0) == pytest.approx(-20.0)
+
+    def test_degradation_breakpoints_and_copy(self, ledger):
+        ledger.degrade(Degradation("egress", 0, 3.0, 7.0, 10.0))
+        assert sorted(ledger.degradation_breakpoints("egress", 0)) == [3.0, 7.0]
+        clone = ledger.copy()
+        clone.degrade(Degradation("egress", 0, 20.0, 30.0, 10.0))
+        assert list(ledger.degradation_breakpoints("egress", 0)) != list(
+            clone.degradation_breakpoints("egress", 0)
+        )
+        assert ledger.capacity_at("egress", 0, 25.0) == pytest.approx(100.0)
+
+    def test_unknown_port_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.degrade(Degradation("ingress", 9, 0.0, 1.0, 10.0))
+
+    def test_checked_allocation_respects_degraded_capacity(self, ledger):
+        ledger.degrade(Degradation("ingress", 0, 0.0, 10.0, 70.0))
+        with pytest.raises(CapacityError):
+            ledger.allocate(0, 0, 0.0, 10.0, 40.0)
+        ledger.allocate(0, 0, 0.0, 10.0, 30.0)
+        assert ledger.max_overcommit() <= 1e-9
+
+    def test_round_trip_dict(self):
+        d = Degradation("egress", 2, 1.0, 4.0, 12.5)
+        assert Degradation.from_dict(d.to_dict()) == d
 
 
 @settings(max_examples=100, deadline=None)

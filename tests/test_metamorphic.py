@@ -12,7 +12,6 @@ These tests don't check absolute outputs but *relations* between runs:
   ``verify_schedule``.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

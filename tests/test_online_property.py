@@ -7,7 +7,6 @@ requests exist — a true statement for GREEDY (decisions at arrival) and
 for WINDOW at epoch granularity.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

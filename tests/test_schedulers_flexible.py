@@ -1,6 +1,5 @@
 """Tests for flexible-request heuristics (GREEDY and WINDOW) and policies."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

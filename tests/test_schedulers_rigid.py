@@ -1,6 +1,5 @@
 """Tests for rigid-request heuristics (FCFS and the SLOTS family)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,7 +14,6 @@ from repro.core import (
 )
 from repro.schedulers import (
     FCFSRigid,
-    SlotsScheduler,
     cumulated_slots,
     fifo_slots,
     minbw_slots,

@@ -118,6 +118,63 @@ class TestInspection:
     def test_empty_accept_rate(self, service):
         assert service.accept_rate() == 0.0
 
+    def test_accept_rate_counts_striped(self):
+        # regression: striped bookings used to vanish from the accounting
+        service = ReservationService(Platform.uniform(4, 2, 100.0))
+        service.submit(ingress=0, egress=1, volume=100.0, deadline=100.0, now=0.0)
+        ok = service.submit_striped(
+            sources=[0, 1], egress=0, volume=100.0, deadline=100.0, now=1.0
+        )
+        assert ok is not None
+        bad = service.submit_striped(
+            sources=[2, 3], egress=1, volume=1e9, deadline=2.0, now=1.5
+        )
+        assert bad is None
+        # 3 client submissions, 2 served
+        assert service.accept_rate() == pytest.approx(2 / 3)
+        assert set(service.striped_bookings()) == {1, 3}
+
+    def test_deadline_at_zero_accepts_exact_fit(self, service):
+        # regression: tau overshoots t_end=0 by a few ulp; the old relative
+        # tolerance (t_end * (1 + 1e-12) == 0) rejected the request
+        r = service.submit(ingress=0, egress=1, volume=3.3, deadline=0.0, now=-0.1)
+        assert r.confirmed
+        assert r.allocation.tau <= 1e-9
+
+
+class TestStripedCancel:
+    def test_cancel_striped_frees_all_stripes(self):
+        service = ReservationService(Platform.uniform(4, 2, 100.0))
+        booking = service.submit_striped(
+            sources=[0, 1], egress=0, volume=1000.0, deadline=1000.0, now=0.0
+        )
+        base = booking.allocations[0].rid
+        assert service.cancel(base, now=2.0)
+        _, outs = service.port_usage(5.0)
+        assert outs[0] == pytest.approx(2 * 50.0 * 0.0)  # tails released
+        # consumed heads [0, 2) stay accounted
+        _, outs = service.port_usage(1.0)
+        assert outs[0] == pytest.approx(100.0)
+        # double cancel is a no-op
+        assert not service.cancel(base, now=3.0)
+
+    def test_cancel_completed_striped_is_noop(self):
+        service = ReservationService(Platform.uniform(4, 2, 100.0))
+        booking = service.submit_striped(
+            sources=[0, 1], egress=0, volume=1000.0, deadline=1000.0, now=0.0
+        )
+        assert not service.cancel(booking.allocations[0].rid, now=booking.finish + 1.0)
+
+    def test_cancel_rejected_striped_is_noop(self):
+        service = ReservationService(Platform.uniform(2, 1, 10.0))
+        assert (
+            service.submit_striped(
+                sources=[0, 1], egress=0, volume=1e9, deadline=10.0, now=0.0
+            )
+            is None
+        )
+        assert not service.cancel(0, now=1.0)
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -1,6 +1,5 @@
 """Tests for the discrete-event simulation engine."""
 
-import math
 
 import pytest
 

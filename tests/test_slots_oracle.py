@@ -6,8 +6,6 @@ possible (full scans everywhere).  Agreement on random workloads guards
 the optimised implementation against bookkeeping regressions.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.stats import (
-    SchedulerComparison,
     bootstrap_confidence_interval,
     compare_schedulers,
     t_confidence_interval,

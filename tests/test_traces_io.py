@@ -1,6 +1,5 @@
 """Tests for workload trace persistence (npz / csv)."""
 
-import numpy as np
 import pytest
 
 from repro.workload import load_csv, load_npz, paper_flexible_workload, save_csv, save_npz
