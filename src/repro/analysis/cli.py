@@ -1,0 +1,93 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``grid-lint``.
+
+Examples
+--------
+Scan the library and fail on any active finding (what CI runs)::
+
+    grid-lint src
+
+Machine-readable output, selected rules only::
+
+    grid-lint --format json --rules GL001,GL004 src benchmarks
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import run_analysis, validate_rule_ids
+from .rules import all_rules, rules_by_id
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-lint",
+        description="Domain-aware static analysis for the repro codebase "
+        "(determinism, float-time discipline, ledger encapsulation).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to scan (default: src)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="GL001,GL002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    catalogue = rules_by_id()
+    if args.list_rules:
+        for rule_id in sorted(catalogue):
+            rule = catalogue[rule_id]
+            print(f"{rule_id}  {rule.title:24s} [{rule.severity}]")
+        return 0
+
+    rules = all_rules()
+    if args.rules is not None:
+        try:
+            selected = validate_rule_ids(args.rules.split(","), catalogue)
+        except ValueError as exc:
+            print(f"grid-lint: {exc}", file=sys.stderr)
+            return 2
+        if not selected:
+            print("grid-lint: --rules selected nothing", file=sys.stderr)
+            return 2
+        rules = [catalogue[rule_id] for rule_id in selected]
+
+    try:
+        report = run_analysis(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"grid-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code

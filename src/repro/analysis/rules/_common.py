@@ -1,0 +1,79 @@
+"""Shared AST helpers for the gridlint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "ImportTracker", "terminal_name"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute/Subscript chain.
+
+    ``t1`` → ``t1``; ``self.t_end`` → ``t_end``; ``self._times[i]`` →
+    ``_times`` (subscripts report the container's name).  Calls and
+    literals have no terminal name.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return terminal_name(node.value)
+    return None
+
+
+class ImportTracker(ast.NodeVisitor):
+    """Resolve local names back to the modules/objects they were imported as.
+
+    After visiting a tree, ``aliases`` maps every bound import name to its
+    fully qualified origin: ``import numpy as np`` → ``{"np": "numpy"}``,
+    ``from time import perf_counter as pc`` → ``{"pc": "time.perf_counter"}``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            # Relative imports never bind the stdlib modules the rules
+            # care about; ignore them.
+            self.generic_visit(node)
+            return
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Qualified origin of a Name/Attribute chain, if import-rooted.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` when
+        ``np`` aliases ``numpy``; plain local names resolve through
+        from-imports; unknown roots return the dotted chain unchanged.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        origin = self.aliases.get(root)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,39 @@
+"""GL007 — no ``assert`` for runtime invariants in library code.
+
+``python -O`` strips assert statements, so an invariant guarded by one
+simply stops being checked in optimised deployments — the worst possible
+failure mode for capacity accounting.  Library code raises
+:class:`repro.core.errors.InternalInvariantError` (or a more specific
+:class:`~repro.core.errors.ReproError`) instead; tests keep using
+``assert`` freely, which is why the rule allowlists them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+
+__all__ = ["NoAssertRule"]
+
+
+class NoAssertRule(Rule):
+    """Ban ``assert`` statements outside tests/benchmarks."""
+
+    rule_id: ClassVar[str] = "GL007"
+    title: ClassVar[str] = "no-assert"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/", "benchmarks/", "conftest.py")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module,
+                    node,
+                    "assert vanishes under python -O; raise "
+                    "repro.core.errors.InternalInvariantError (or a specific "
+                    "ReproError) for runtime invariants",
+                )

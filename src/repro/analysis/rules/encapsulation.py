@@ -1,0 +1,79 @@
+"""GL004 — ledger and reservation internals are written only by their owners.
+
+Every capacity decision must flow through :class:`repro.core.ledger.PortLedger`
+(allocate/release/degrade) and the booking helpers of
+:mod:`repro.core.booking`; reservation lifecycle stamps are the
+:class:`repro.control.service.ReservationService`'s to set.  An out-of-band
+write — ``ledger._ingress[i] = ...``, ``reservation.cancelled_at = t`` from
+a scheduler — bypasses the Eq. 1 capacity checks and desynchronises journal
+replay from reality.
+
+The rule flags assignments (plain, augmented, or subscripted) to the known
+internal attributes outside their owning modules.  Ownership is by path
+suffix, so fixture trees mirroring the layout exercise the rule too.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+from ._common import terminal_name
+
+__all__ = ["LedgerEncapsulationRule"]
+
+#: attribute → path suffixes of the modules allowed to write it.
+_PROTECTED: dict[str, tuple[str, ...]] = {
+    # PortLedger usage/reduction timelines (slots of repro.core.ledger).
+    "_ingress": ("core/ledger.py", "core/booking.py"),
+    "_egress": ("core/ledger.py", "core/booking.py"),
+    "_ingress_red": ("core/ledger.py", "core/booking.py"),
+    "_egress_red": ("core/ledger.py", "core/booking.py"),
+    # Reservation lifecycle stamps (owned by the reservation service).
+    "cancelled_at": ("control/service.py",),
+    "aborted_at": ("control/service.py",),
+    "displaced_at": ("control/service.py",),
+}
+
+
+def _assignment_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+class LedgerEncapsulationRule(Rule):
+    """Flag out-of-band writes to PortLedger/Reservation internals."""
+
+    rule_id: ClassVar[str] = "GL004"
+    title: ClassVar[str] = "ledger-encapsulation"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/",)
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            for target in _assignment_targets(node):
+                # Unwrap subscript writes: ledger._ingress[i] = tl.
+                inner = target.value if isinstance(target, ast.Subscript) else target
+                if not isinstance(inner, ast.Attribute):
+                    continue
+                attr = inner.attr
+                owners = _PROTECTED.get(attr)
+                if owners is None:
+                    continue
+                if any(module.relpath.endswith(suffix) for suffix in owners):
+                    continue
+                # Class-body definitions (dataclass fields) are declarations,
+                # not writes on a foreign object.
+                owner_name = terminal_name(inner.value)
+                yield self.finding(
+                    module,
+                    node,
+                    f"write to {owner_name or '<expr>'}.{attr} outside "
+                    f"{' / '.join(owners)} bypasses the capacity/lifecycle "
+                    "invariants; go through the owning API",
+                )

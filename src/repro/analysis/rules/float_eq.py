@@ -1,0 +1,104 @@
+"""GL003 — no raw ``==``/``!=`` between time/bandwidth/volume quantities.
+
+Times, rates and volumes are floats accumulated through arithmetic
+(``sigma + volume / bw``); exact equality on them is order-of-evaluation
+dependent and silently breaks admission decisions and replay snapshots.
+Quantity comparisons go through the tolerance helpers in
+:mod:`repro.units` (``seconds_eq`` / ``bandwidth_eq`` / ``volume_eq`` /
+``close``) or :func:`repro.core.booking.deadline_tolerance`.
+
+Detection is name-based: an operand counts as a quantity when its terminal
+identifier matches the domain vocabulary below (``t0``, ``sigma``, ``bw``,
+``deadline`` …, including plural container forms such as ``_times``).
+Identity checks against sentinels (``is None``) and comparisons with
+non-float literals are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+from ._common import terminal_name
+
+__all__ = ["FloatEqRule", "is_quantity_name"]
+
+#: Exact identifiers that denote a time, bandwidth or volume quantity.
+_QUANTITY_WORDS = {
+    "t", "t0", "t1", "t_start", "t_end", "t_step", "sigma", "tau", "now",
+    "start", "end", "finish", "deadline", "duration", "horizon",
+    "bw", "rate", "bandwidth", "capacity", "headroom", "cap",
+    "volume", "vol", "amount",
+}
+
+#: Container forms: a subscript of ``self._times`` is a time quantity.
+_QUANTITY_PLURALS = {
+    "times", "starts", "ends", "deadlines", "rates", "volumes",
+    "durations", "breakpoints",
+}
+
+#: Suffix patterns for derived names (``cancelled_at``, ``max_rate``,
+#: ``freed_volume``, ``rebook_wait_total`` …).
+_QUANTITY_SUFFIX = re.compile(
+    r".+(_t0|_t1|_at|_time|_times|_start|_starts|_end|_ends|_deadline|"
+    r"_rate|_rates|_bw|_volume|_volumes|_duration|_capacity|_seconds)$"
+)
+
+
+def is_quantity_name(name: str | None) -> bool:
+    """Does ``name`` read as a time/bandwidth/volume identifier?"""
+    if name is None:
+        return False
+    bare = name.lstrip("_")
+    if bare in _QUANTITY_WORDS or bare in _QUANTITY_PLURALS:
+        return True
+    return bool(_QUANTITY_SUFFIX.match(name))
+
+
+def _is_quantity_expr(node: ast.expr) -> bool:
+    return is_quantity_name(terminal_name(node))
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Negative literals parse as UnaryOp(USub, Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class FloatEqRule(Rule):
+    """Ban exact float equality between domain quantities."""
+
+    rule_id: ClassVar[str] = "GL003"
+    title: ClassVar[str] = "no-raw-float-eq"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/",)
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left_q, right_q = _is_quantity_expr(left), _is_quantity_expr(right)
+                if (left_q and right_q) or (
+                    (left_q and _is_float_literal(right))
+                    or (right_q and _is_float_literal(left))
+                ):
+                    names = ", ".join(
+                        n for n in (terminal_name(left), terminal_name(right)) if n
+                    )
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raw float equality on quantity operand(s) ({names}); "
+                        "use repro.units.seconds_eq/bandwidth_eq/volume_eq/close",
+                    )
+                    break  # one finding per comparison chain

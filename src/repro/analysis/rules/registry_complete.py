@@ -1,0 +1,80 @@
+"""GL005 — every Scheduler subclass is reachable through the registry.
+
+The CLI, experiment configs and benchmarks construct schedulers by name
+via :func:`repro.schedulers.registry.make_scheduler`; a subclass missing
+from the registry silently drops out of sweeps and comparisons (the
+experiment "runs" with a stale scheduler set instead of failing).
+
+The rule is project-wide: it collects every class in a ``schedulers/``
+directory whose base list names ``Scheduler`` (excluding the abstract base
+itself in ``base.py``), then checks each class name is referenced somewhere
+in that directory's ``registry.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Project, Rule
+
+__all__ = ["RegistryCompletenessRule"]
+
+
+def _scheduler_classes(module: Module) -> Iterable[ast.ClassDef]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
+            if name == "Scheduler":
+                yield node
+                break
+
+
+def _referenced_names(module: Module) -> set[str]:
+    return {node.id for node in ast.walk(module.tree) if isinstance(node, ast.Name)}
+
+
+class RegistryCompletenessRule(Rule):
+    """Flag Scheduler subclasses absent from their registry module."""
+
+    rule_id: ClassVar[str] = "GL005"
+    title: ClassVar[str] = "registry-completeness"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/",)
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        # Group modules by their schedulers/ directory so fixture trees and
+        # the real package are handled identically.
+        groups: dict[str, list[Module]] = {}
+        for module in project.modules:
+            if not self.applies_to(module):
+                continue
+            path = module.relpath
+            marker = "schedulers/"
+            idx = path.rfind(marker)
+            if idx < 0:
+                continue
+            groups.setdefault(path[: idx + len(marker)], []).append(module)
+        for prefix, modules in groups.items():
+            registry = next(
+                (m for m in modules if m.relpath == prefix + "registry.py"), None
+            )
+            if registry is None:
+                continue  # no registry in this tree: nothing to be complete against
+            registered = _referenced_names(registry)
+            for module in modules:
+                if module is registry or module.relpath.endswith("/base.py"):
+                    continue
+                for cls in _scheduler_classes(module):
+                    if cls.name in registered:
+                        continue
+                    yield self.finding(
+                        module,
+                        cls,
+                        f"Scheduler subclass {cls.name} is not referenced in "
+                        f"{prefix}registry.py; register a factory for it so "
+                        "name-based construction (CLI, sweeps) can reach it",
+                    )

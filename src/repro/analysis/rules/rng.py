@@ -1,0 +1,58 @@
+"""GL002 — no ambient (module-level, unseeded) RNG state.
+
+Admission decisions and fault drills must be reproducible from a seed:
+``random.random()`` and ``np.random.uniform()`` draw from hidden global
+state that journal replay cannot restore.  Randomness enters through an
+injected ``random.Random(seed)`` or ``np.random.default_rng(seed)``
+instance, threaded down from the experiment configuration.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+from ._common import ImportTracker
+
+__all__ = ["UnseededRngRule"]
+
+#: Constructors of explicit, seedable RNG objects — always allowed.
+_ALLOWED = {
+    "random.Random",
+    "random.SystemRandom",  # crypto-grade, not used for simulation draws
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+_MODULE_PREFIXES = ("random.", "numpy.random.")
+
+
+class UnseededRngRule(Rule):
+    """Ban draws from the module-level ``random``/``np.random`` state."""
+
+    rule_id: ClassVar[str] = "GL002"
+    title: ClassVar[str] = "no-unseeded-rng"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/",)
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        tracker = ImportTracker()
+        tracker.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = tracker.resolve(node.func)
+            if origin is None or origin in _ALLOWED:
+                continue
+            if any(origin.startswith(prefix) for prefix in _MODULE_PREFIXES):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{origin}() draws from hidden global RNG state; inject a "
+                    "seeded random.Random / np.random.default_rng instead",
+                )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.booking import deadline_tolerance
 from ..core.errors import ConfigurationError
@@ -73,7 +73,7 @@ class PortFault:
             raise ConfigurationError(f"fault amount must be positive, got {self.amount}")
 
     @classmethod
-    def outage(cls, side: str, port: int, capacity: float, start: float, end: float) -> "PortFault":
+    def outage(cls, side: str, port: int, capacity: float, start: float, end: float) -> PortFault:
         """A full outage: the whole ``capacity`` disappears over the window."""
         return cls(side=side, port=port, amount=capacity, start=start, end=end)
 

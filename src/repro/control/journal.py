@@ -20,7 +20,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from ..core.errors import ConfigurationError
 
@@ -50,7 +51,7 @@ class JournalEntry:
         return {"op": self.op, "now": self.now, **dict(self.args)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "JournalEntry":
+    def from_dict(cls, data: Mapping[str, Any]) -> JournalEntry:
         """Inverse of :meth:`to_dict`."""
         payload = dict(data)
         op = str(payload.pop("op"))
@@ -109,7 +110,7 @@ class Journal:
         return "\n".join(lines) + "\n"
 
     @classmethod
-    def from_jsonl(cls, text: str) -> "Journal":
+    def from_jsonl(cls, text: str) -> Journal:
         """Inverse of :meth:`to_jsonl`."""
         lines = [line for line in text.splitlines() if line.strip()]
         if not lines:
@@ -128,7 +129,7 @@ class Journal:
         Path(path).write_text(self.to_jsonl())
 
     @classmethod
-    def load(cls, path: str | Path) -> "Journal":
+    def load(cls, path: str | Path) -> Journal:
         """Read a journal previously written by :meth:`save` (or live appends)."""
         journal = cls.from_jsonl(Path(path).read_text())
         journal.path = Path(path)

@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..core.allocation import Allocation, ScheduleResult
 from ..core.booking import deadline_tolerance, earliest_fit
-from ..core.errors import ConfigurationError, InvalidRequestError
+from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
 from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
 from ..core.platform import Platform
 from ..core.request import Request, RequestSet
@@ -121,6 +121,20 @@ class Reservation:
         return ReservationState.COMPLETED
 
 
+def _live_allocation(reservation: Reservation) -> Allocation:
+    """The allocation of a reservation known to be confirmed.
+
+    Call sites have already established liveness via
+    :meth:`Reservation.state`; a missing allocation there means the
+    service's bookkeeping is corrupt, not that the caller erred.
+    """
+    if reservation.allocation is None:
+        raise InternalInvariantError(
+            f"reservation {reservation.rid} is live but carries no allocation"
+        )
+    return reservation.allocation
+
+
 class ReservationService:
     """Online book-ahead admission with submit / cancel / inspect calls.
 
@@ -156,7 +170,7 @@ class ReservationService:
         self._clock = float("-inf")
         self._next_rid = 0
         self._reservations: dict[int, Reservation] = {}
-        self._striped: dict[int, "StripedBooking | None"] = {}
+        self._striped: dict[int, StripedBooking | None] = {}
         self._striped_cancelled: dict[int, float] = {}
         self._backlog: list[int] = []
         self._degradations: list[Degradation] = []
@@ -284,7 +298,7 @@ class ReservationService:
         deadline: float,
         now: float,
         max_stream_rate: float | None = None,
-    ) -> "StripedBooking | None":
+    ) -> StripedBooking | None:
         """Book a multi-source (striped) staging transfer.
 
         All stripes start now and finish together as early as the ledger
@@ -349,8 +363,7 @@ class ReservationService:
             raise KeyError(f"unknown reservation {rid}")
         if reservation.state(now) not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
             return False
-        alloc = reservation.allocation
-        assert alloc is not None
+        alloc = _live_allocation(reservation)
         self._release_tail(alloc, now)
         reservation.cancelled_at = now
         return True
@@ -391,8 +404,7 @@ class ReservationService:
             raise KeyError(f"unknown reservation {rid}")
         if reservation.state(now) not in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
             return False
-        alloc = reservation.allocation
-        assert alloc is not None
+        alloc = _live_allocation(reservation)
         freed = self._release_tail(alloc, now)
         reservation.aborted_at = now
         self.stats.aborted += 1
@@ -438,8 +450,7 @@ class ReservationService:
             victim = self._displacement_victim(side, port, start, end, now)
             if victim is None:
                 break  # remaining overcommit is not ours to resolve
-            alloc = victim.allocation
-            assert alloc is not None
+            alloc = _live_allocation(victim)
             freed = self._release_tail(alloc, now)
             victim.displaced_at = now
             self.stats.displaced += 1
@@ -462,8 +473,7 @@ class ReservationService:
                 ReservationState.ACTIVE,
             ):
                 continue
-            alloc = reservation.allocation
-            assert alloc is not None
+            alloc = _live_allocation(reservation)
             on_port = alloc.ingress == port if side == "ingress" else alloc.egress == port
             if not on_port:
                 continue
@@ -507,7 +517,10 @@ class ReservationService:
                 keep.append(rid)
                 continue
             new_rid = self._take_rid()
-            assert new_rid == candidate.rid
+            if new_rid != candidate.rid:
+                raise InternalInvariantError(
+                    f"re-admission rid drifted: took {new_rid}, booked as {candidate.rid}"
+                )
             reservation = Reservation(
                 rid=new_rid, request=candidate, allocation=allocation, origin=rid
             )
@@ -566,7 +579,7 @@ class ReservationService:
         }
 
     @classmethod
-    def replay(cls, journal: Journal) -> "ReservationService":
+    def replay(cls, journal: Journal) -> ReservationService:
         """Rebuild a service from its operation journal.
 
         The journal header supplies the configuration; the recorded
@@ -637,7 +650,7 @@ class ReservationService:
         """All point-to-point reservations, in submission order."""
         return [self._reservations[rid] for rid in sorted(self._reservations)]
 
-    def striped_bookings(self) -> dict[int, "StripedBooking | None"]:
+    def striped_bookings(self) -> dict[int, StripedBooking | None]:
         """Striped submissions by base rid (``None`` marks a rejected one)."""
         return dict(self._striped)
 

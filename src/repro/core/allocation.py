@@ -10,7 +10,8 @@ bookkeeping with the schedulers, so tests can use it as ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from .errors import ScheduleViolation
 from .ledger import Degradation, PortLedger
@@ -50,7 +51,7 @@ class Allocation:
         return self.bw * (self.tau - self.sigma)
 
     @classmethod
-    def for_request(cls, request: Request, bw: float, sigma: float | None = None) -> "Allocation":
+    def for_request(cls, request: Request, bw: float, sigma: float | None = None) -> Allocation:
         """Allocation serving ``request`` at rate ``bw`` from ``sigma``.
 
         ``sigma`` defaults to the requested start ``t_s(r)`` and ``tau`` is
@@ -78,7 +79,7 @@ class Allocation:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Allocation":
+    def from_dict(cls, data: Mapping[str, Any]) -> Allocation:
         """Inverse of :meth:`to_dict`."""
         return cls(
             rid=int(data["rid"]),
@@ -191,7 +192,7 @@ class ScheduleResult:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleResult":
+    def from_dict(cls, data: Mapping[str, Any]) -> ScheduleResult:
         """Inverse of :meth:`to_dict`."""
         result = cls(scheduler=str(data.get("scheduler", "")), meta=dict(data.get("meta", {})))
         reasons = {int(k): str(v) for k, v in data.get("rejection_reasons", {}).items()}

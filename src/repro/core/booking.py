@@ -16,7 +16,7 @@ only candidates is exhaustive.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from .allocation import Allocation
 from .ledger import PortLedger

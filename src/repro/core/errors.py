@@ -8,6 +8,7 @@ __all__ = [
     "CapacityError",
     "ScheduleViolation",
     "ConfigurationError",
+    "InternalInvariantError",
 ]
 
 
@@ -37,3 +38,14 @@ class ScheduleViolation(ReproError, AssertionError):
 
 class ConfigurationError(ReproError, ValueError):
     """An experiment or scheduler was configured inconsistently."""
+
+
+class InternalInvariantError(ReproError, AssertionError):
+    """An internal consistency invariant did not hold.
+
+    Replaces bare ``assert`` statements for runtime invariants in library
+    code: ``assert`` vanishes under ``python -O``, silently disabling the
+    very checks that guard capacity accounting and replay determinism
+    (gridlint rule GL007).  Subclasses :class:`AssertionError` so callers
+    that treated the old asserts as assertion failures keep working.
+    """

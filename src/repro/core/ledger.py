@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from .errors import CapacityError, ConfigurationError
 from .platform import Platform
@@ -64,7 +65,7 @@ class Degradation:
         return {"side": self.side, "port": self.port, "t0": self.t0, "t1": self.t1, "amount": self.amount}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Degradation":
+    def from_dict(cls, data: Mapping[str, Any]) -> Degradation:
         """Inverse of :meth:`to_dict`."""
         return cls(
             side=str(data["side"]),
@@ -306,7 +307,7 @@ class PortLedger:
             tl.is_zero() for tl in self._egress
         )
 
-    def copy(self) -> "PortLedger":
+    def copy(self) -> PortLedger:
         """Deep copy (used by look-ahead heuristics and the B&B solver)."""
         clone = PortLedger.__new__(PortLedger)
         clone.platform = self.platform

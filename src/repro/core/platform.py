@@ -15,7 +15,8 @@ resources (Eq. 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
@@ -99,7 +100,7 @@ class Platform:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def uniform(cls, num_ingress: int, num_egress: int, capacity: float) -> "Platform":
+    def uniform(cls, num_ingress: int, num_egress: int, capacity: float) -> Platform:
         """All ports share one capacity — the paper's simulation platform.
 
         The published experiments use ``uniform(10, 10, 1000.0)``:
@@ -108,12 +109,12 @@ class Platform:
         return cls([capacity] * num_ingress, [capacity] * num_egress)
 
     @classmethod
-    def paper_platform(cls) -> "Platform":
+    def paper_platform(cls) -> Platform:
         """The exact simulation platform of §4.3: 10×10 ports at 1 GB/s."""
         return cls.uniform(10, 10, 1000.0)
 
     @classmethod
-    def grid5000(cls, site_capacities: Iterable[float] | None = None) -> "Platform":
+    def grid5000(cls, site_capacities: Iterable[float] | None = None) -> Platform:
         """A Grid'5000-like platform: 8 sites, symmetric access links.
 
         Each site contributes one ingress and one egress point.  Default
@@ -134,7 +135,7 @@ class Platform:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "Platform":
+    def from_dict(cls, data: dict[str, Any]) -> Platform:
         """Inverse of :meth:`to_dict`."""
         return cls(data["ingress_capacity"], data["egress_capacity"])
 

@@ -79,7 +79,7 @@ class ProblemInstance:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ProblemInstance":
+    def from_dict(cls, data: dict[str, Any]) -> ProblemInstance:
         """Inverse of :meth:`to_dict`."""
         return cls(
             platform=Platform.from_dict(data["platform"]),
@@ -91,7 +91,7 @@ class ProblemInstance:
         return json.dumps(self.to_dict())
 
     @classmethod
-    def from_json(cls, text: str) -> "ProblemInstance":
+    def from_json(cls, text: str) -> ProblemInstance:
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
@@ -100,6 +100,6 @@ class ProblemInstance:
         Path(path).write_text(self.to_json())
 
     @classmethod
-    def load(cls, path: str | Path) -> "ProblemInstance":
+    def load(cls, path: str | Path) -> ProblemInstance:
         """Read an instance from a JSON file."""
         return cls.from_json(Path(path).read_text())

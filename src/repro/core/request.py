@@ -153,7 +153,7 @@ class Request:
         volume: float,
         t_start: float,
         t_end: float,
-    ) -> "Request":
+    ) -> Request:
         """Build a rigid request: ``MaxRate`` set to the window-implied rate."""
         min_rate = volume / (t_end - t_start)
         return cls(rid, ingress, egress, volume, t_start, t_end, min_rate)
@@ -168,7 +168,7 @@ class Request:
         t_start: float,
         min_rate: float,
         max_rate: float,
-    ) -> "Request":
+    ) -> Request:
         """Build a flexible request from a requested ``MinRate``.
 
         The deadline is derived: ``t_f = t_s + vol / min_rate``.
@@ -178,7 +178,7 @@ class Request:
         t_end = t_start + volume / min_rate
         return cls(rid, ingress, egress, volume, t_start, t_end, max_rate)
 
-    def with_rid(self, rid: int) -> "Request":
+    def with_rid(self, rid: int) -> Request:
         """Return a copy of this request with a different identifier."""
         return replace(self, rid=rid)
 
@@ -198,7 +198,7 @@ class Request:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "Request":
+    def from_dict(cls, data: dict[str, Any]) -> Request:
         """Inverse of :meth:`to_dict`."""
         return cls(
             rid=int(data["rid"]),
@@ -286,7 +286,7 @@ class RequestSet(Sequence[Request]):
         out["min_rate"] = out["volume"] / (out["t_end"] - out["t_start"])
         return out
 
-    def sorted_by_arrival(self) -> "RequestSet":
+    def sorted_by_arrival(self) -> RequestSet:
         """Requests ordered by ``(t_start, min_rate, rid)``.
 
         This is the FCFS order the paper uses: earliest start first, and the
@@ -317,11 +317,11 @@ class RequestSet(Sequence[Request]):
         """Sum of request volumes in MB."""
         return float(sum(r.volume for r in self.requests))
 
-    def rigid_subset(self) -> "RequestSet":
+    def rigid_subset(self) -> RequestSet:
         """Only the rigid requests."""
         return RequestSet(r for r in self.requests if r.is_rigid)
 
-    def flexible_subset(self) -> "RequestSet":
+    def flexible_subset(self) -> RequestSet:
         """Only the flexible requests."""
         return RequestSet(r for r in self.requests if r.is_flexible)
 
@@ -331,6 +331,6 @@ class RequestSet(Sequence[Request]):
         return json.dumps([r.to_dict() for r in self.requests])
 
     @classmethod
-    def from_json(cls, text: str) -> "RequestSet":
+    def from_json(cls, text: str) -> RequestSet:
         """Inverse of :meth:`to_json`."""
         return cls(Request.from_dict(d) for d in json.loads(text))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class BandwidthTimeline:
     def _ensure_breakpoint(self, t: float) -> int:
         """Insert a breakpoint at ``t`` (if absent) and return its index."""
         idx = self._segment_index(t)
-        if self._times[idx] == t:
+        if self._times[idx] == t:  # gridlint: disable=GL003 -- breakpoint identity: t was bisected into _times, only an exact hit reuses the entry
             return idx
         self._times.insert(idx + 1, t)
         self._usage.insert(idx + 1, self._usage[idx])
@@ -101,7 +101,7 @@ class BandwidthTimeline:
             raise ValueError(f"empty interval [{t0}, {t1})")
         i0 = self._segment_index(t0)
         i1 = self._segment_index(t1)
-        if self._times[i1] == t1:
+        if self._times[i1] == t1:  # gridlint: disable=GL003 -- breakpoint identity: half-open [t0, t1) excludes an exactly-aligned final segment
             i1 -= 1
         return max(self._usage[i0 : i1 + 1])
 
@@ -111,7 +111,7 @@ class BandwidthTimeline:
             raise ValueError(f"empty interval [{t0}, {t1})")
         i0 = self._segment_index(t0)
         i1 = self._segment_index(t1)
-        if self._times[i1] == t1:
+        if self._times[i1] == t1:  # gridlint: disable=GL003 -- breakpoint identity: half-open [t0, t1) excludes an exactly-aligned final segment
             i1 -= 1
         return min(self._usage[i0 : i1 + 1])
 
@@ -167,7 +167,7 @@ class BandwidthTimeline:
         return all(abs(u) <= tol for u in self._usage)
 
     # ------------------------------------------------------------------
-    def copy(self) -> "BandwidthTimeline":
+    def copy(self) -> BandwidthTimeline:
         """An independent copy of this timeline."""
         clone = BandwidthTimeline()
         clone._times = list(self._times)

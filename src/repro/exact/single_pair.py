@@ -20,7 +20,7 @@ import heapq
 import math
 
 from ..core.allocation import Allocation, ScheduleResult
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
@@ -95,7 +95,8 @@ def edf_single_pair_unit(problem: ProblemInstance, *, slot_length: float = 1.0) 
             bw = request.max_rate
         elif not math.isclose(bw, request.max_rate, rel_tol=1e-9):
             raise ConfigurationError("requests are not uniform-bandwidth")
-    assert bw is not None
+    if bw is None:
+        raise InternalInvariantError("non-empty request list produced no common bandwidth")
     k = int(problem.platform.bottleneck(ingress, egress) / bw * (1 + 1e-12))
 
     def slot_of(t: float) -> int:

@@ -11,11 +11,11 @@ Coordinates here are 0-based integers in ``[0, n)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, InternalInvariantError
 
 __all__ = ["ThreeDMInstance", "solve_3dm", "random_3dm"]
 
@@ -110,7 +110,8 @@ def solve_3dm(instance: ThreeDMInstance) -> tuple[int, ...] | None:
         return False
 
     if backtrack():
-        assert instance.is_matching(chosen)
+        if not instance.is_matching(chosen):
+            raise InternalInvariantError("backtracker returned a non-matching triple set")
         return tuple(sorted(chosen))
     return None
 

@@ -15,7 +15,7 @@ These quantify aspects the paper motivates but does not measure:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ sizes.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..core.objectives import resource_utilization_time_averaged
 from ..fairness import FluidSimulation

@@ -15,7 +15,7 @@ mean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 
 from ..core.platform import Platform

@@ -8,7 +8,7 @@ to eyeball the orderings and crossovers the paper's figures show.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["ascii_chart"]
 

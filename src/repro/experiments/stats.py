@@ -10,7 +10,7 @@ dominates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 from scipy import stats as sps

@@ -14,9 +14,11 @@ grid point and one column per metric (mean over seeds, with an optional
 
 from __future__ import annotations
 
+import functools
 import itertools
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
+from ..core.errors import InternalInvariantError
 from ..metrics.report import Table
 from .runner import replicate
 
@@ -56,7 +58,7 @@ def sweep(
     headers: list[str] | None = None
     table: Table | None = None
     for params in points:
-        agg = replicate(lambda seed: run(params, seed), seeds)
+        agg = replicate(functools.partial(_run_point, run, params), seeds)
         metric_names = sorted(agg)
         if headers is None:
             headers = list(grid) + metric_names
@@ -71,7 +73,16 @@ def sweep(
                 cells.append(f"{agg[name].mean:.4g}±{agg[name].std:.2g}")
             else:
                 cells.append(agg[name].mean)
-        assert table is not None
+        if table is None:
+            raise InternalInvariantError("table not initialised on first grid point")
         table.add_row(*cells)
-    assert table is not None
+    if table is None:
+        raise InternalInvariantError("empty grid produced no table (grid_points returns >= 1)")
     return table
+
+
+def _run_point(
+    run: Callable[[dict, int], Mapping[str, float]], params: dict, seed: int
+) -> Mapping[str, float]:
+    """One grid point at one seed (partial-bound, keeping ``params`` fixed)."""
+    return run(params, seed)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import InternalInvariantError
 from ..core.problem import ProblemInstance
 from .maxmin import maxmin_rates
 
@@ -180,7 +181,10 @@ class FluidSimulation:
             next_drop = min(act_deadline) if (self.drop_at_deadline and act_rid) else math.inf
 
             t_next = min(next_arrival, next_completion, next_drop)
-            assert math.isfinite(t_next), "event horizon must be finite while flows are active"
+            if not math.isfinite(t_next):
+                raise InternalInvariantError(
+                    "event horizon must be finite while flows are active"
+                )
 
             # Advance transfers to t_next.
             if act_rid and t_next > t:

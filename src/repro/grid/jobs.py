@@ -20,12 +20,12 @@ factor trades against accept rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 
 from ..core.allocation import ScheduleResult
-from ..core.errors import ConfigurationError, InvalidRequestError
+from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
 from ..core.problem import ProblemInstance
 from ..core.request import Request, RequestSet
 from ..schedulers.base import Scheduler
@@ -124,7 +124,10 @@ class JobSimulationResult:
         return float(np.mean(done)) if done else 0.0
 
     def _submission(self, rid: int) -> float:
-        assert self.schedule is not None
+        if rid not in self._submissions:
+            raise InternalInvariantError(
+                f"outcome for job {rid} exists but its submission time was never recorded"
+            )
         return self._submissions[rid]
 
     # filled by the simulator

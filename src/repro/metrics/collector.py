@@ -8,7 +8,8 @@ interval-based scheduling), granted-rate quality, per-port balance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 

@@ -77,7 +77,7 @@ class FaultStats:
         out["mean_time_to_rebook"] = self.mean_time_to_rebook
         return out
 
-    def merge(self, other: "FaultStats") -> "FaultStats":
+    def merge(self, other: FaultStats) -> FaultStats:
         """Elementwise sum (aggregating replications); returns a new object."""
         merged = FaultStats()
         for key, value in asdict(self).items():

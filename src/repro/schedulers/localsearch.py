@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.allocation import Allocation, ScheduleResult
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
@@ -154,7 +154,8 @@ class LocalSearchScheduler(Scheduler):
             if best is None or current.num_accepted > best.num_accepted:
                 best = current
 
-        assert best is not None
+        if best is None:
+            raise InternalInvariantError("restarts >= 1 yet no candidate was decoded")
         best.scheduler = self.name
         best.meta = {"iterations": self.iterations, "restarts": self.restarts, "mode": self.mode}
         return best

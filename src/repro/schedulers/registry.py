@@ -7,7 +7,8 @@ names onto configured instances.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..core.errors import ConfigurationError
 from .base import Scheduler

@@ -10,7 +10,8 @@ sorted arrival processing and use lighter-weight loops.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from .events import Event, EventQueue
 from .trace import EventTrace

@@ -10,7 +10,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["Event", "EventQueue"]
 
@@ -26,7 +27,7 @@ class Event:
     time: float
     priority: int
     seq: int
-    callback: Callable[["Event"], None] = field(compare=False)
+    callback: Callable[[Event], None] = field(compare=False)
     payload: Any = field(default=None, compare=False)
     cancelled: bool = field(default=False, compare=False)
 

@@ -9,7 +9,8 @@ printing inside the hot loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .events import Event
@@ -41,7 +42,7 @@ class EventTrace:
         self._capacity = capacity
         self._dropped = 0
 
-    def record(self, event: "Event") -> None:
+    def record(self, event: Event) -> None:
         """Record a dispatched :class:`~repro.sim.events.Event`."""
         label = getattr(event.callback, "__name__", repr(event.callback))
         self.append(event.time, label, event.payload)

@@ -30,12 +30,17 @@ __all__ = [
     "MINUTE",
     "HOUR",
     "DAY",
+    "REL_TOL",
     "parse_volume",
     "parse_bandwidth",
     "parse_duration",
     "format_volume",
     "format_bandwidth",
     "format_duration",
+    "close",
+    "seconds_eq",
+    "bandwidth_eq",
+    "volume_eq",
 ]
 
 # Volumes, in MB.
@@ -53,6 +58,51 @@ SECOND: float = 1.0
 MINUTE: float = 60.0
 HOUR: float = 3600.0
 DAY: float = 86400.0
+
+#: Default relative tolerance for quantity comparisons.  Times, rates and
+#: volumes are sums/products of floats (``tau = sigma + volume / bw``); one
+#: part in 10⁹ absorbs the round-off of any realistic chain of operations
+#: while staying far below every physically meaningful difference.  Matches
+#: ``repro.core.ledger.CAPACITY_SLACK`` and the deadline slack of
+#: ``repro.core.booking.deadline_tolerance``.
+REL_TOL: float = 1e-9
+
+
+def close(a: float, b: float, *, rel: float = REL_TOL, floor: float = 1.0) -> bool:
+    """Tolerance-aware equality for float quantities.
+
+    True when ``|a - b| <= rel * max(floor, |a|, |b|)``.  The absolute
+    ``floor`` keeps the tolerance meaningful near zero (where a purely
+    relative bound collapses to exact equality): quantities at ``t ≈ 0`` or
+    rates of a few MB/s still compare with ~1e-9 slack.  Infinities compare
+    equal only to themselves; NaN compares equal to nothing.
+    """
+    if a == b:  # gridlint: disable=GL003 -- fast path incl. matching infinities
+        return True
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return False
+    return abs(a - b) <= rel * max(floor, abs(a), abs(b))
+
+
+def seconds_eq(a: float, b: float, *, rel: float = REL_TOL) -> bool:
+    """Are two times (seconds) equal up to numerical noise?
+
+    The absolute floor of one second's 1e-9 matches
+    :func:`repro.core.booking.deadline_tolerance`, so admission checks and
+    comparisons written with either helper agree.
+    """
+    return close(a, b, rel=rel, floor=1.0)
+
+
+def bandwidth_eq(a: float, b: float, *, rel: float = REL_TOL) -> bool:
+    """Are two bandwidths (MB/s) equal up to numerical noise?"""
+    return close(a, b, rel=rel, floor=1.0)
+
+
+def volume_eq(a: float, b: float, *, rel: float = REL_TOL) -> bool:
+    """Are two volumes (MB) equal up to numerical noise?"""
+    return close(a, b, rel=rel, floor=1.0)
+
 
 _VOLUME_UNITS = {
     "kb": KB,

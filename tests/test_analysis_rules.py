@@ -1,0 +1,382 @@
+"""Fixture-driven tests for every gridlint rule (GL001–GL007).
+
+Each rule gets (at least) one fixture proving it fires and one proving
+inline suppression silences it; the end-to-end test plants a violation of
+every rule in one temp package and checks the CLI gates on all of them.
+"""
+
+import textwrap
+
+from repro.analysis import all_rules, run_analysis
+from repro.analysis.cli import main
+from repro.analysis.rules import rules_by_id
+from repro.analysis.rules.float_eq import is_quantity_name
+
+
+def _scan(tmp_path, source, *, rules=None, filename="mod.py"):
+    (tmp_path / filename).parent.mkdir(parents=True, exist_ok=True)
+    (tmp_path / filename).write_text(textwrap.dedent(source))
+    return run_analysis([tmp_path], rules if rules is not None else all_rules())
+
+
+def _active(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+def _suppressed(report, rule_id):
+    return [f for f in report.suppressed if f.rule == rule_id]
+
+
+class TestGL001WallClock:
+    def test_fires_on_time_time(self, tmp_path):
+        report = _scan(tmp_path, "import time\n\ndef f():\n    return time.time()\n")
+        assert len(_active(report, "GL001")) == 1
+
+    def test_fires_on_from_import_and_datetime(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            from time import perf_counter as pc
+            from datetime import datetime
+
+            def f():
+                return pc(), datetime.now()
+            """,
+        )
+        assert len(_active(report, "GL001")) == 2
+
+    def test_simulated_time_argument_is_fine(self, tmp_path):
+        report = _scan(tmp_path, "def f(now):\n    return now + 1.0\n")
+        assert _active(report, "GL001") == []
+
+    def test_allowlisted_in_report_gen_and_benchmarks(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        report = _scan(tmp_path, source, filename="experiments/report_gen.py")
+        assert _active(report, "GL001") == []
+        report = _scan(tmp_path, source, filename="benchmarks/bench_x.py")
+        assert _active(report, "GL001") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "import time\n\ndef f():\n"
+            "    return time.time()  # gridlint: disable=GL001 -- wall time wanted\n",
+        )
+        assert _active(report, "GL001") == []
+        assert len(_suppressed(report, "GL001")) == 1
+
+
+class TestGL002UnseededRng:
+    def test_fires_on_module_level_random(self, tmp_path):
+        report = _scan(tmp_path, "import random\n\ndef f():\n    return random.uniform(0, 1)\n")
+        assert len(_active(report, "GL002")) == 1
+
+    def test_fires_on_np_random_alias(self, tmp_path):
+        report = _scan(tmp_path, "import numpy as np\n\ndef f():\n    return np.random.normal()\n")
+        assert len(_active(report, "GL002")) == 1
+
+    def test_seeded_constructors_allowed(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            import random
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                r = random.Random(seed)
+                return rng.integers(10), r.random()
+            """,
+        )
+        assert _active(report, "GL002") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "import random\n\ndef f():\n"
+            "    return random.random()  # gridlint: disable=GL002 -- nonce, not simulation\n",
+        )
+        assert _active(report, "GL002") == []
+        assert len(_suppressed(report, "GL002")) == 1
+
+
+class TestGL003FloatEq:
+    def test_fires_on_quantity_vs_quantity(self, tmp_path):
+        report = _scan(tmp_path, "def f(t_end, deadline):\n    return t_end == deadline\n")
+        assert len(_active(report, "GL003")) == 1
+
+    def test_fires_on_quantity_vs_float_literal(self, tmp_path):
+        report = _scan(tmp_path, "def f(bw):\n    return bw != 1000.0\n")
+        assert len(_active(report, "GL003")) == 1
+
+    def test_fires_on_container_subscript(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "class T:\n"
+            "    def f(self, i, t1):\n"
+            "        return self._times[i] == t1\n",
+        )
+        assert len(_active(report, "GL003")) == 1
+
+    def test_int_literal_and_non_quantity_names_pass(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(count, mode, volume):
+                a = count == 3
+                b = mode == "rigid"
+                c = volume is None
+                return a, b, c
+            """,
+        )
+        assert _active(report, "GL003") == []
+
+    def test_ordering_comparisons_pass(self, tmp_path):
+        report = _scan(tmp_path, "def f(t0, t1):\n    return t0 < t1 <= t1 + 5.0\n")
+        assert _active(report, "GL003") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(t_end, deadline):\n"
+            "    return t_end == deadline  # gridlint: disable=GL003 -- exact identity\n",
+        )
+        assert _active(report, "GL003") == []
+        assert len(_suppressed(report, "GL003")) == 1
+
+    def test_vocabulary(self):
+        assert is_quantity_name("t_start")
+        assert is_quantity_name("cancelled_at")
+        assert is_quantity_name("_times")
+        assert is_quantity_name("max_rate")
+        assert not is_quantity_name("mode")
+        assert not is_quantity_name("count")
+        assert not is_quantity_name(None)
+
+
+class TestGL004LedgerEncapsulation:
+    def test_fires_on_foreign_ledger_write(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(ledger, tl):\n    ledger._ingress[0] = tl\n",
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL004")) == 1
+
+    def test_fires_on_reservation_stamp_write(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(reservation, now):\n    reservation.cancelled_at = now\n",
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL004")) == 1
+
+    def test_owning_modules_may_write(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "class PortLedger:\n    def __init__(self):\n        self._ingress = []\n",
+            filename="core/ledger.py",
+        )
+        assert _active(report, "GL004") == []
+        report = _scan(
+            tmp_path,
+            "def cancel(reservation, now):\n    reservation.cancelled_at = now\n",
+            filename="control/service.py",
+        )
+        assert _active(report, "GL004") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(ledger, tl):\n"
+            "    ledger._ingress[0] = tl  # gridlint: disable=GL004 -- test harness rewiring\n",
+        )
+        assert _active(report, "GL004") == []
+        assert len(_suppressed(report, "GL004")) == 1
+
+
+class TestGL005RegistryCompleteness:
+    @staticmethod
+    def _plant(tmp_path, *, registered: bool, suppress: bool = False):
+        pkg = tmp_path / "schedulers"
+        pkg.mkdir(parents=True, exist_ok=True)
+        (pkg / "base.py").write_text("class Scheduler:\n    pass\n")
+        suffix = "  # gridlint: disable=GL005 -- experimental, not user-facing" if suppress else ""
+        (pkg / "extra.py").write_text(
+            "from .base import Scheduler\n\n\n"
+            f"class OrphanScheduler(Scheduler):{suffix}\n"
+            "    pass\n"
+        )
+        body = "from .extra import OrphanScheduler\n_F = {'orphan': OrphanScheduler}\n" if registered else "_F = {}\n"
+        (pkg / "registry.py").write_text(body)
+
+    def test_fires_on_unregistered_subclass(self, tmp_path):
+        self._plant(tmp_path, registered=False)
+        report = run_analysis([tmp_path], all_rules())
+        findings = _active(report, "GL005")
+        assert len(findings) == 1
+        assert "OrphanScheduler" in findings[0].message
+
+    def test_registered_subclass_passes(self, tmp_path):
+        self._plant(tmp_path, registered=True)
+        report = run_analysis([tmp_path], all_rules())
+        assert _active(report, "GL005") == []
+
+    def test_base_class_itself_exempt(self, tmp_path):
+        self._plant(tmp_path, registered=True)
+        report = run_analysis([tmp_path], all_rules())
+        assert all("Scheduler is not referenced" not in f.message for f in report.findings)
+
+    def test_suppression_on_class_line(self, tmp_path):
+        self._plant(tmp_path, registered=False, suppress=True)
+        report = run_analysis([tmp_path], all_rules())
+        assert _active(report, "GL005") == []
+        assert len(_suppressed(report, "GL005")) == 1
+
+    def test_real_registry_is_complete(self):
+        """Every Scheduler subclass in the shipped tree is constructible by name."""
+        from pathlib import Path
+
+        src = Path(__file__).parent.parent / "src"
+        rule = rules_by_id()["GL005"]
+        report = run_analysis([src], [rule])
+        assert report.findings == []
+
+
+class TestGL006JournalSafety:
+    def test_fires_on_mutation_after_append(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def record(journal, entry, now):
+                journal.append("submit", now, entry=entry)
+                entry["volume"] = 0.0
+            """,
+        )
+        assert len(_active(report, "GL006")) == 1
+
+    def test_fires_on_mutator_method(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def record(self, payload, now):
+                self.journal.append("op", now, data=payload)
+                payload.update(done=True)
+            """,
+        )
+        assert len(_active(report, "GL006")) == 1
+
+    def test_mutation_before_append_is_fine(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def record(journal, entry, now):
+                entry["volume"] = 0.0
+                journal.append("submit", now, entry=entry)
+            """,
+        )
+        assert _active(report, "GL006") == []
+
+    def test_rebinding_is_not_mutation(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def record(journal, entry, now):
+                journal.append("submit", now, entry=entry)
+                entry = {}
+                return entry
+            """,
+        )
+        assert _active(report, "GL006") == []
+
+    def test_record_wrapper_is_tracked(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            class Service:
+                def op(self, req, now):
+                    self._record("op", now, rid=req.rid, req=req)
+                    req.volume = 0.0
+            """,
+        )
+        assert len(_active(report, "GL006")) == 1
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def record(journal, entry, now):
+                journal.append("submit", now, entry=entry)
+                entry["volume"] = 0.0  # gridlint: disable=GL006 -- entry was deep-copied by append
+            """,
+        )
+        assert _active(report, "GL006") == []
+        assert len(_suppressed(report, "GL006")) == 1
+
+
+class TestGL007NoAssert:
+    def test_fires_on_assert(self, tmp_path):
+        report = _scan(tmp_path, "def f(x):\n    assert x is not None\n    return x\n")
+        assert len(_active(report, "GL007")) == 1
+
+    def test_allowlisted_under_tests(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def test_f():\n    assert 1 + 1 == 2\n",
+            filename="tests/test_x.py",
+        )
+        assert _active(report, "GL007") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(x):\n"
+            "    assert x is not None  # gridlint: disable=GL007 -- mypy narrowing only\n"
+            "    return x\n",
+        )
+        assert _active(report, "GL007") == []
+        assert len(_suppressed(report, "GL007")) == 1
+
+
+class TestEndToEnd:
+    def test_temp_package_with_every_violation_gates(self, tmp_path, capsys):
+        """CLI over a package violating all seven rules: exit 1, all ids reported."""
+        pkg = tmp_path / "pkg"
+        (pkg / "schedulers").mkdir(parents=True)
+        (pkg / "schedulers" / "base.py").write_text("class Scheduler:\n    pass\n")
+        (pkg / "schedulers" / "registry.py").write_text("_F = {}\n")
+        (pkg / "schedulers" / "orphan.py").write_text(
+            "from .base import Scheduler\n\n\nclass OrphanScheduler(Scheduler):\n    pass\n"
+        )
+        (pkg / "soup.py").write_text(
+            textwrap.dedent(
+                """\
+                import random
+                import time
+
+
+                def stamp(ledger, entry, journal, now, t_end, deadline):
+                    t0 = time.time()
+                    jitter = random.random()
+                    same = t_end == deadline
+                    ledger._ingress[0] = None
+                    journal.append("op", now, entry=entry)
+                    entry["late"] = True
+                    assert t0 >= 0
+                    return t0, jitter, same
+                """
+            )
+        )
+        code = main(["--format", "json", str(tmp_path)])
+        assert code == 1
+        doc = __import__("json").loads(capsys.readouterr().out)
+        seen = {f["rule"] for f in doc["findings"]}
+        assert {"GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007"} <= seen
+
+    def test_clean_package_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "good.py").write_text(
+            "def shift(now, dt):\n    return now + dt\n"
+        )
+        assert main([str(tmp_path)]) == 0
