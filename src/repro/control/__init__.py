@@ -13,7 +13,7 @@ from .journal import Journal, JournalEntry
 from .messages import MessageType, ReservationMessage
 from .plane import ControlPlane
 from .router import PortAgent
-from .service import Reservation, ReservationService, ReservationState
+from .service import Reservation, ReservationService, ReservationState, RejectReason
 from .striped import StripedBooking, book_striped, plan_striped
 from .token_bucket import TokenBucket, enforce_series
 
@@ -27,6 +27,7 @@ __all__ = [
     "MessageType",
     "PortAgent",
     "PortFault",
+    "RejectReason",
     "Reservation",
     "ReservationService",
     "ReservationState",

@@ -37,19 +37,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..core.allocation import Allocation, ScheduleResult
-from ..core.booking import deadline_tolerance, earliest_fit
+from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
 from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
 from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
 from ..core.platform import Platform
 from ..core.request import Request, RequestSet
 from ..metrics.faults import FaultStats
+from ..obs.telemetry import Telemetry, get_telemetry
 from ..schedulers.policies import BandwidthPolicy, MinRatePolicy, policy_from_name
 from .journal import Journal
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from .striped import StripedBooking
 
-__all__ = ["ReservationService", "Reservation", "ReservationState"]
+__all__ = ["ReservationService", "Reservation", "ReservationState", "RejectReason"]
 
 
 class ReservationState(enum.Enum):
@@ -76,6 +77,8 @@ class Reservation:
     displaced_at: float | None = None
     #: rid of the reservation this one re-admits or rebooks, if any.
     origin: int | None = None
+    #: Why admission failed (``None`` on confirmed reservations).
+    reject_reason: RejectReason | None = None
 
     @property
     def confirmed(self) -> bool:
@@ -151,6 +154,11 @@ class ReservationService:
     journal:
         Optional operation journal; every state-changing call is appended
         so :meth:`replay` can rebuild the service after a crash.
+    telemetry:
+        Explicit telemetry handle for this service instance; when omitted,
+        every decision is reported through the process-wide handle
+        (:func:`~repro.obs.telemetry.get_telemetry`), which defaults to a
+        no-op :class:`~repro.obs.telemetry.NullTelemetry`.
     """
 
     def __init__(
@@ -160,12 +168,14 @@ class ReservationService:
         *,
         backlog_limit: int = 0,
         journal: Journal | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if backlog_limit < 0:
             raise ConfigurationError(f"backlog_limit must be >= 0, got {backlog_limit}")
         self.platform = platform
         self.policy = policy or MinRatePolicy()
         self.backlog_limit = backlog_limit
+        self._telemetry = telemetry
         self._ledger = PortLedger(platform)
         self._clock = float("-inf")
         self._next_rid = 0
@@ -205,6 +215,11 @@ class ReservationService:
     def now(self) -> float:
         """Last observed service time."""
         return self._clock
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The handle decisions are reported through (instance or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     # ------------------------------------------------------------------
     def submit(
@@ -247,8 +262,14 @@ class ReservationService:
             t_end=deadline,
             max_rate=max_rate,
         )
-        allocation = self._book(request)
-        reservation = Reservation(rid=rid, request=request, allocation=allocation, origin=origin)
+        allocation, probe = self._book(request)
+        reservation = Reservation(
+            rid=rid,
+            request=request,
+            allocation=allocation,
+            origin=origin,
+            reject_reason=probe.reason,
+        )
         self._reservations[rid] = reservation
         self._record(
             "submit",
@@ -260,6 +281,7 @@ class ReservationService:
             max_rate=max_rate,
             origin=origin,
         )
+        self._observe_submit(reservation, probe, now)
         if origin is not None:
             parent = self._reservations[origin]
             if parent.displaced_at is not None or parent.aborted_at is not None:
@@ -275,9 +297,10 @@ class ReservationService:
                 self._backlog.pop(0)
         return reservation
 
-    def _book(self, request: Request) -> Allocation | None:
+    def _book(self, request: Request) -> tuple[Allocation | None, FitProbe]:
+        probe = FitProbe()
         allocation = earliest_fit(
-            self._ledger, request, lambda sigma: self.policy.assign(request, sigma)
+            self._ledger, request, lambda sigma: self.policy.assign(request, sigma), probe=probe
         )
         if allocation is not None:
             self._ledger.allocate(
@@ -287,7 +310,67 @@ class ReservationService:
                 allocation.tau,
                 allocation.bw,
             )
-        return allocation
+            self._note_port_peaks(allocation)
+        return allocation, probe
+
+    def _note_port_peaks(self, alloc: Allocation) -> None:
+        """Track peak committed utilisation of the two ports just booked on."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        gauge = tel.metrics.gauge(
+            "service_port_peak_utilization",
+            "Peak committed bandwidth over port capacity, per port.",
+        )
+        in_cap = self.platform.bin(alloc.ingress)
+        out_cap = self.platform.bout(alloc.egress)
+        if in_cap > 0:
+            in_peak = self._ledger.ingress_timeline(alloc.ingress).max_usage(alloc.sigma, alloc.tau)
+            gauge.set_max(in_peak / in_cap, side="ingress", port=alloc.ingress)
+        if out_cap > 0:
+            out_peak = self._ledger.egress_timeline(alloc.egress).max_usage(alloc.sigma, alloc.tau)
+            gauge.set_max(out_peak / out_cap, side="egress", port=alloc.egress)
+
+    def _observe_submit(self, reservation: Reservation, probe: FitProbe, now: float) -> None:
+        """Report one admission decision: counters, decision event, span."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        alloc = reservation.allocation
+        outcome = "accepted" if alloc is not None else "rejected"
+        tel.metrics.counter(
+            "service_submits_total", "Reservation submissions by admission outcome."
+        ).inc(outcome=outcome)
+        fields: dict[str, Any] = {
+            "rid": reservation.rid,
+            "ingress": reservation.request.ingress,
+            "egress": reservation.request.egress,
+            "volume": reservation.request.volume,
+            "deadline": reservation.request.t_end,
+            "outcome": outcome,
+            "candidates": probe.candidates,
+        }
+        if alloc is not None:
+            fields.update(sigma=alloc.sigma, tau=alloc.tau, bw=alloc.bw)
+            tel.tracer.complete(
+                "reservation",
+                alloc.sigma,
+                alloc.tau,
+                cat="service",
+                tid=alloc.ingress,
+                rid=reservation.rid,
+                bw=alloc.bw,
+            )
+        else:
+            reason = probe.reason.value if probe.reason is not None else "unspecified"
+            fields["reason"] = reason
+            if probe.ingress_headroom is not None:
+                fields["ingress_headroom"] = probe.ingress_headroom
+                fields["egress_headroom"] = probe.egress_headroom
+            tel.metrics.counter(
+                "service_rejects_total", "Reservation rejections by reason."
+            ).inc(reason=reason)
+        tel.emit("service.submit", now, **fields)
 
     def submit_striped(
         self,
@@ -337,6 +420,19 @@ class ReservationService:
             deadline=deadline,
             max_stream_rate=max_stream_rate,
         )
+        tel = self.telemetry
+        if tel.enabled:
+            outcome = "accepted" if booking is not None else "rejected"
+            tel.metrics.counter(
+                "service_striped_total", "Striped submissions by outcome."
+            ).inc(outcome=outcome)
+            tel.emit(
+                "service.submit_striped",
+                now,
+                base=base,
+                outcome=outcome,
+                stripes=len(booking.allocations) if booking is not None else 0,
+            )
         return booking
 
     # ------------------------------------------------------------------
@@ -353,6 +449,12 @@ class ReservationService:
         else:
             released = self._cancel_point(rid, now)
         self._record("cancel", now, rid=rid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("service_cancels_total", "Cancellations by effect.").inc(
+                released=str(released).lower()
+            )
+            tel.emit("service.cancel", now, rid=rid, released=released)
         if released:
             self._readmit(now)
         return released
@@ -411,6 +513,16 @@ class ReservationService:
         self.stats.wasted_volume += reservation.carried
         self.stats.freed_volume += freed
         self._record("abort", now, rid=rid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("service_aborts_total", "Mid-flight transfer aborts.").inc()
+            tel.emit(
+                "service.abort",
+                now,
+                rid=rid,
+                freed=freed,
+                wasted=reservation.carried,
+            )
         self._readmit(now)
         return True
 
@@ -459,6 +571,25 @@ class ReservationService:
         self._record(
             "degrade", now, side=side, port=port, amount=amount, start=start, end=end
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "service_degrades_total", "Capacity degradations applied, by side."
+            ).inc(side=side)
+            if displaced:
+                tel.metrics.counter(
+                    "service_displacements_total", "Reservations displaced by degradations."
+                ).inc(float(len(displaced)))
+            tel.emit(
+                "service.degrade",
+                now,
+                side=side,
+                port=port,
+                amount=amount,
+                start=start,
+                end=end,
+                displaced=[r.rid for r in displaced],
+            )
         self._readmit(now)
         return displaced
 
@@ -512,7 +643,7 @@ class ReservationService:
                 )
             except InvalidRequestError:
                 continue  # clipped window borderline-infeasible: prune
-            allocation = self._book(candidate)
+            allocation, _probe = self._book(candidate)
             if allocation is None:
                 keep.append(rid)
                 continue
@@ -528,6 +659,13 @@ class ReservationService:
             self.stats.readmitted += 1
             self.stats.readmitted_volume += candidate.volume
             admitted.append(reservation)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.metrics.counter(
+                    "service_readmissions_total",
+                    "Backlogged requests re-admitted after capacity freed up.",
+                ).inc()
+                tel.emit("service.readmit", now, rid=new_rid, origin=rid)
         self._backlog = keep
         return admitted
 
@@ -557,6 +695,7 @@ class ReservationService:
                     "aborted_at": r.aborted_at,
                     "displaced_at": r.displaced_at,
                     "origin": r.origin,
+                    "reject_reason": r.reject_reason.value if r.reject_reason else None,
                 }
             )
         striped = {}
@@ -714,5 +853,7 @@ class ReservationService:
                 result.accept(r.allocation)
             elif not r.confirmed:
                 requests.append(r.request)
-                result.reject(r.rid, "capacity")
+                result.reject(
+                    r.rid, r.reject_reason.value if r.reject_reason is not None else "capacity"
+                )
         return RequestSet(requests), result

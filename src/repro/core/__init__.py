@@ -6,7 +6,7 @@ requests with transmission windows, ingress/egress capacity constraints
 """
 
 from .allocation import Allocation, ScheduleResult, verify_schedule
-from .booking import book_earliest, earliest_fit
+from .booking import FitProbe, RejectReason, book_earliest, earliest_fit
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -35,10 +35,12 @@ __all__ = [
     "CapacityError",
     "ConfigurationError",
     "Degradation",
+    "FitProbe",
     "InvalidRequestError",
     "Platform",
     "PortLedger",
     "ProblemInstance",
+    "RejectReason",
     "ReproError",
     "Request",
     "RequestSet",

@@ -16,13 +16,67 @@ only candidates is exhaustive.
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
 from collections.abc import Callable
 
+from ..obs.telemetry import get_telemetry
 from .allocation import Allocation
 from .ledger import PortLedger
 from .request import Request
 
-__all__ = ["earliest_fit", "book_earliest", "deadline_tolerance"]
+__all__ = [
+    "FitProbe",
+    "RejectReason",
+    "earliest_fit",
+    "book_earliest",
+    "deadline_tolerance",
+]
+
+
+class RejectReason(enum.Enum):
+    """Machine-readable cause of a booking rejection.
+
+    The earliest-fit search classifies every failed admission:
+
+    - ``INGRESS_FULL`` / ``EGRESS_FULL`` — some rate meeting the deadline
+      exists, but the named port side cannot carry it anywhere in the
+      window (the side with less headroom at the first capacity-failing
+      candidate start is blamed);
+    - ``WINDOW_INFEASIBLE`` — the window cannot carry the volume even at
+      ``MaxRate`` (``t_end − t_start < vol / MaxRate``), e.g. after a
+      re-admission clipped the window;
+    - ``MINRATE_EXCEEDS_MAXRATE`` — at every candidate start the
+      deadline-implied rate exceeds what the policy/MaxRate can grant.
+    """
+
+    INGRESS_FULL = "ingress-full"
+    EGRESS_FULL = "egress-full"
+    WINDOW_INFEASIBLE = "window-infeasible"
+    MINRATE_EXCEEDS_MAXRATE = "minrate-exceeds-maxrate"
+
+
+@dataclass
+class FitProbe:
+    """Diagnostics of one earliest-fit search (filled in by the search).
+
+    Attributes
+    ----------
+    candidates:
+        Candidate start times actually examined (including a successful
+        one); "how hard did the search work".
+    reason:
+        Why the request could not be booked (``None`` on success).
+    ingress_headroom / egress_headroom:
+        Free bandwidth on each side at the first capacity-failing
+        candidate, i.e. the headroom the request bounced off; ``None``
+        when the search never reached a capacity check.
+    """
+
+    candidates: int = 0
+    reason: RejectReason | None = None
+    ingress_headroom: float | None = None
+    egress_headroom: float | None = None
 
 
 def deadline_tolerance(t_end: float) -> float:
@@ -49,6 +103,7 @@ def earliest_fit(
     rate_for: Callable[[float], float | None] | None = None,
     *,
     not_before: float | None = None,
+    probe: FitProbe | None = None,
 ) -> Allocation | None:
     """Earliest feasible allocation for ``request`` against ``ledger``.
 
@@ -58,12 +113,19 @@ def earliest_fit(
     deadline-implied minimum rate.  ``not_before`` further constrains the
     search (e.g. "no earlier than the service clock").  The ledger is not
     modified; use :func:`book_earliest` to also commit the result.
+
+    When a :class:`FitProbe` is supplied the search fills it with decision
+    diagnostics: candidate count, a :class:`RejectReason` on failure, and
+    the per-side headroom the request bounced off.
     """
     if rate_for is None:
         rate_for = lambda sigma: _min_rate_for(request, sigma)  # noqa: E731
     earliest = request.t_start if not_before is None else max(request.t_start, not_before)
     latest = request.t_end - request.min_duration
     if latest < earliest:
+        if probe is not None:
+            probe.reason = RejectReason.WINDOW_INFEASIBLE
+        _count_fit(request, candidates=0, accepted=False)
         return None
     starts = {earliest}
     points: list[float] = list(ledger.ingress_timeline(request.ingress).breakpoints())
@@ -74,7 +136,11 @@ def earliest_fit(
         if earliest < t <= latest:
             starts.add(float(t))
     tol = deadline_tolerance(request.t_end)
+    examined = 0
+    saw_capacity_failure = False
+    first_headroom: tuple[float, float] | None = None
     for sigma in sorted(starts):
+        examined += 1
         bw = rate_for(sigma)
         if bw is None or bw <= 0:
             continue
@@ -82,8 +148,49 @@ def earliest_fit(
         if tau > request.t_end + tol:
             continue
         if ledger.fits(request.ingress, request.egress, sigma, tau, bw):
+            if probe is not None:
+                probe.candidates = examined
+            _count_fit(request, candidates=examined, accepted=True)
             return Allocation.for_request(request, bw, sigma=sigma)
+        saw_capacity_failure = True
+        if probe is not None and first_headroom is None:
+            first_headroom = (
+                ledger.free_capacity("ingress", request.ingress, sigma, tau),
+                ledger.free_capacity("egress", request.egress, sigma, tau),
+            )
+    if probe is not None:
+        probe.candidates = examined
+        if first_headroom is not None:
+            probe.ingress_headroom, probe.egress_headroom = first_headroom
+        if saw_capacity_failure and first_headroom is not None:
+            ing_free, egr_free = first_headroom
+            probe.reason = (
+                RejectReason.INGRESS_FULL
+                if ing_free <= egr_free
+                else RejectReason.EGRESS_FULL
+            )
+        elif saw_capacity_failure:
+            probe.reason = RejectReason.INGRESS_FULL
+        else:
+            probe.reason = RejectReason.MINRATE_EXCEEDS_MAXRATE
+    _count_fit(request, candidates=examined, accepted=False)
     return None
+
+
+def _count_fit(request: Request, *, candidates: int, accepted: bool) -> None:
+    """Maintain the booking-layer counters on the active telemetry handle."""
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    outcome = "accepted" if accepted else "rejected"
+    tel.metrics.counter(
+        "booking_earliest_fit_total",
+        "Earliest-fit searches by outcome.",
+    ).inc(outcome=outcome)
+    tel.metrics.counter(
+        "booking_candidates_examined_total",
+        "Candidate start times examined by the earliest-fit search.",
+    ).inc(float(candidates))
 
 
 def book_earliest(
@@ -92,9 +199,10 @@ def book_earliest(
     rate_for: Callable[[float], float | None] | None = None,
     *,
     not_before: float | None = None,
+    probe: FitProbe | None = None,
 ) -> Allocation | None:
     """:func:`earliest_fit`, committing the allocation when one is found."""
-    allocation = earliest_fit(ledger, request, rate_for, not_before=not_before)
+    allocation = earliest_fit(ledger, request, rate_for, not_before=not_before, probe=probe)
     if allocation is not None:
         ledger.allocate(
             allocation.ingress,

@@ -1,0 +1,130 @@
+"""The run-telemetry artifact: a self-describing record of one run.
+
+A :class:`RunTelemetry` bundles one or more *captures* (each the snapshot
+of a :class:`~repro.obs.telemetry.Telemetry` handle, e.g. one per
+replication seed) under a run name and free-form metadata.  The JSON form
+is canonical — keys sorted, metrics and label sets ordered — so two
+identical seeded runs serialise **byte-identically**; the determinism
+tests rely on this.
+
+Artifacts are what ``grid-obs`` consumes (see :mod:`repro.obs.cli`) and
+what :func:`repro.experiments.runner.replicate` and the benchmark suite
+attach to every run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from .metrics import MetricsRegistry
+from .schema import validate_artifact
+from .telemetry import Telemetry
+from .tracer import Span, SpanTracer
+
+__all__ = ["RunTelemetry"]
+
+#: Bumped whenever the artifact layout changes incompatibly.
+ARTIFACT_VERSION = 1
+
+
+class RunTelemetry:
+    """A named collection of telemetry captures with canonical JSON I/O."""
+
+    def __init__(self, name: str, *, meta: Mapping[str, Any] | None = None) -> None:
+        if not name:
+            raise ConfigurationError("a run-telemetry artifact needs a non-empty name")
+        self.name = name
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._captures: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        label: str,
+        telemetry: Telemetry,
+        *,
+        results: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Snapshot ``telemetry`` under ``label`` (e.g. ``"seed=0"``).
+
+        ``results`` carries the run's scalar outcomes (accept rate, figure
+        metrics, bench timings) so the artifact is self-describing.
+        """
+        snapshot = telemetry.snapshot()
+        entry: dict[str, Any] = {"label": label, **snapshot}
+        if results is not None:
+            entry["results"] = dict(results)
+        self._captures.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._captures)
+
+    def captures(self) -> Iterator[dict[str, Any]]:
+        """The raw capture dicts, in record order."""
+        return iter(self._captures)
+
+    def labels(self) -> list[str]:
+        """Capture labels, in record order."""
+        return [str(c["label"]) for c in self._captures]
+
+    def registry(self, label: str) -> MetricsRegistry:
+        """The metrics registry of the capture named ``label``."""
+        for entry in self._captures:
+            if entry["label"] == label:
+                return MetricsRegistry.from_dict(entry["metrics"])
+        raise KeyError(f"no capture labeled {label!r} in artifact {self.name!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able form (see :data:`~repro.obs.schema.ARTIFACT_SCHEMA`)."""
+        return {
+            "format": "repro-run-telemetry",
+            "version": ARTIFACT_VERSION,
+            "name": self.name,
+            "meta": dict(self.meta),
+            "captures": list(self._captures),
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON text — byte-identical across identical runs."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as JSON; returns the path written."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json(), encoding="utf-8")
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> RunTelemetry:
+        """Rebuild an artifact from :meth:`to_dict` output (schema-checked)."""
+        validate_artifact(data)
+        artifact = cls(str(data["name"]), meta=data.get("meta", {}))
+        artifact._captures = [dict(entry) for entry in data["captures"]]
+        return artifact
+
+    @classmethod
+    def load(cls, path: str | Path) -> RunTelemetry:
+        """Read an artifact written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict[str, Any]:
+        """Merge every capture's spans into one Chrome trace document.
+
+        Each capture becomes its own process (``pid``) so Perfetto shows
+        replications side by side.
+        """
+        events: list[dict[str, Any]] = []
+        for pid, entry in enumerate(self._captures):
+            tracer = SpanTracer()
+            for span_dict in entry.get("spans", []):
+                tracer._push(Span.from_dict(span_dict))
+            document = tracer.to_chrome_trace(pid=pid)
+            events.extend(document["traceEvents"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,164 @@
+"""``grid-obs`` — inspect and convert run-telemetry artifacts.
+
+Examples::
+
+    grid-obs summary results/run.json
+    grid-obs summary results/run.json --json
+    grid-obs convert results/run.json --to chrome -o trace.json
+    grid-obs convert results/run.json --to jsonl -o spans.jsonl
+    grid-obs convert results/run.json --to prometheus
+    grid-obs validate results/run.json
+    grid-obs validate trace.json --kind chrome
+
+Exit codes follow the gridlint convention: ``0`` success, ``1`` the
+document failed validation, ``2`` usage error (missing file, bad format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+from typing import Any
+
+from ..core.errors import ReproError
+from .artifact import RunTelemetry
+from .metrics import MetricsRegistry
+from .schema import SchemaError, validate_artifact, validate_chrome_trace
+from .summary import summarize
+from .tracer import SpanTracer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="grid-obs",
+        description="Summarise, convert and validate repro run-telemetry artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser("summary", help="summarise a run-telemetry artifact")
+    summary.add_argument("artifact", help="path to a run-telemetry JSON artifact")
+    summary.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    convert = sub.add_parser("convert", help="convert an artifact between export formats")
+    convert.add_argument("artifact", help="path to a run-telemetry JSON artifact")
+    convert.add_argument(
+        "--to",
+        dest="target",
+        choices=("chrome", "jsonl", "prometheus"),
+        required=True,
+        help="chrome trace-event JSON, span JSONL, or Prometheus text exposition",
+    )
+    convert.add_argument("-o", "--output", default=None, help="write here instead of stdout")
+
+    validate = sub.add_parser("validate", help="check a document against its JSON schema")
+    validate.add_argument("document", help="path to the JSON document")
+    validate.add_argument(
+        "--kind",
+        choices=("artifact", "chrome", "auto"),
+        default="auto",
+        help="schema to apply (auto sniffs the document)",
+    )
+    return parser
+
+
+def _load_json(path: str) -> Any:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output is None:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    else:
+        Path(output).write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
+        print(f"wrote {output}")
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    artifact = RunTelemetry.load(args.artifact)
+    report = summarize(artifact)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    artifact = RunTelemetry.load(args.artifact)
+    if args.target == "chrome":
+        document = artifact.chrome_trace()
+        validate_chrome_trace(document)
+        _emit(json.dumps(document, indent=2, sort_keys=True), args.output)
+    elif args.target == "jsonl":
+        lines = []
+        for entry in artifact.captures():
+            for span in entry.get("spans", []):
+                lines.append(json.dumps(span, sort_keys=True, separators=(",", ":")))
+        _emit("\n".join(lines), args.output)
+    else:  # prometheus
+        chunks = []
+        for label in artifact.labels():
+            registry: MetricsRegistry = artifact.registry(label)
+            text = registry.to_prometheus_text()
+            if text:
+                chunks.append(f"# capture: {label}\n{text}")
+        _emit("\n".join(chunks), args.output)
+    return 0
+
+
+def _sniff_kind(document: Any) -> str:
+    if isinstance(document, dict) and document.get("format") == "repro-run-telemetry":
+        return "artifact"
+    if isinstance(document, dict) and "traceEvents" in document:
+        return "chrome"
+    return "artifact"
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    document = _load_json(args.document)
+    kind = args.kind if args.kind != "auto" else _sniff_kind(document)
+    try:
+        if kind == "artifact":
+            validate_artifact(document)
+        else:
+            validate_chrome_trace(document)
+    except SchemaError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(f"OK: valid {kind} document")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summary":
+            return _cmd_summary(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        # Detach stdout so interpreter shutdown does not re-raise on flush.
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115 - lives until exit
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ReproError) as exc:
+        print(f"error: not a readable telemetry document: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

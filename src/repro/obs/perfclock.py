@@ -1,0 +1,54 @@
+"""Injectable wall-clock for benchmark timing — the one GL001 exemption.
+
+Everything in :mod:`repro.obs` is keyed to the *simulation* clock; replay
+determinism (GL001) forbids ambient host-clock reads in library code.
+Real-time profiling is still legitimate in benchmarks, so this module is
+the single, allowlisted place a host clock may be read — callers inject a
+:class:`PerfClock` and production code defaults to the deterministic
+:class:`TickClock`.
+
+- :class:`WallClock` reads ``time.perf_counter()``; instantiate it **only**
+  from benchmark / reporting code.
+- :class:`TickClock` advances by a fixed step per read — deterministic,
+  replay-safe, and good enough for tests that need "a monotonic clock".
+
+The gridlint GL001 allowlist covers exactly ``obs/perfclock.py`` (scoped,
+with a rule-fixture test); a wall-clock read anywhere else in ``src``
+still fails the build.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["PerfClock", "TickClock", "WallClock"]
+
+
+class PerfClock(Protocol):
+    """A monotonic clock read in fractional seconds."""
+
+    def now(self) -> float:
+        """The current reading, in seconds (origin is clock-specific)."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """The host's high-resolution monotonic clock (benchmarks only)."""
+
+    def now(self) -> float:
+        """``time.perf_counter()`` in seconds."""
+        return time.perf_counter()
+
+
+class TickClock:
+    """A deterministic clock advancing ``step`` seconds per read."""
+
+    def __init__(self, step: float = 1.0, start: float = 0.0) -> None:
+        self._step = step
+        self._now = start
+
+    def now(self) -> float:
+        """The next reading: previous value plus ``step``."""
+        self._now += self._step
+        return self._now

@@ -1,0 +1,186 @@
+"""Summaries of run-telemetry artifacts (the ``grid-obs summary`` backend).
+
+Aggregates every capture of a :class:`~repro.obs.artifact.RunTelemetry`
+into the questions an operator actually asks after a run:
+
+- how many submissions were accepted / rejected, and the top reject
+  reasons (from the ``service_rejects_total`` counter);
+- per-port peak committed utilisation (from the
+  ``service_port_peak_utilization`` gauge);
+- where simulated time went — a flamegraph-style table aggregating spans
+  by name (count, total, mean, max duration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .artifact import RunTelemetry
+from .metrics import Counter, Gauge, MetricsRegistry
+
+__all__ = ["ArtifactSummary", "SpanRow", "summarize"]
+
+#: Metric names the service instrumentation publishes (see docs/OBSERVABILITY.md).
+SUBMITS_TOTAL = "service_submits_total"
+REJECTS_TOTAL = "service_rejects_total"
+PORT_PEAK_UTILIZATION = "service_port_peak_utilization"
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRow:
+    """One aggregated span name in the flamegraph table."""
+
+    name: str
+    count: int
+    total: float
+    mean: float
+    max: float
+
+
+@dataclass
+class ArtifactSummary:
+    """Everything ``grid-obs summary`` prints, as data."""
+
+    name: str
+    captures: int
+    accepted: int
+    rejected: int
+    reject_reasons: dict[str, int] = field(default_factory=dict)
+    #: ``(side, port) -> peak utilisation`` (committed bandwidth / capacity).
+    port_peaks: dict[tuple[str, int], float] = field(default_factory=dict)
+    span_table: list[SpanRow] = field(default_factory=list)
+    events: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accept_rate(self) -> float:
+        """Accepted over decided submissions (0 when nothing was decided)."""
+        decided = self.accepted + self.rejected
+        return self.accepted / decided if decided else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (``grid-obs summary --json``)."""
+        return {
+            "name": self.name,
+            "captures": self.captures,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "accept_rate": self.accept_rate,
+            "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "port_peaks": {
+                f"{side}:{port}": peak for (side, port), peak in sorted(self.port_peaks.items())
+            },
+            "spans": [
+                {
+                    "name": row.name,
+                    "count": row.count,
+                    "total": row.total,
+                    "mean": row.mean,
+                    "max": row.max,
+                }
+                for row in self.span_table
+            ],
+            "events": self.events,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"run: {self.name}  ({self.captures} capture(s), {self.events} event(s))"]
+        decided = self.accepted + self.rejected
+        if decided:
+            lines.append(
+                f"admission: {self.accepted} accepted / {self.rejected} rejected "
+                f"(accept rate {self.accept_rate:.2%})"
+            )
+        if self.reject_reasons:
+            lines.append("top reject reasons:")
+            ranked = sorted(self.reject_reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+            for reason, count in ranked:
+                lines.append(f"  {reason:28s} {count}")
+        if self.port_peaks:
+            lines.append("per-port peak utilisation:")
+            for (side, port), peak in sorted(self.port_peaks.items()):
+                bar = "#" * int(round(min(1.0, peak) * 20))
+                lines.append(f"  {side:8s}[{port:3d}] {peak:7.2%} {bar}")
+        if self.span_table:
+            lines.append("spans (by simulated time):")
+            lines.append(f"  {'name':32s} {'count':>7s} {'total_s':>12s} {'mean_s':>10s} {'max_s':>10s}")
+            for row in self.span_table:
+                lines.append(
+                    f"  {row.name:32s} {row.count:7d} {row.total:12.1f} "
+                    f"{row.mean:10.2f} {row.max:10.2f}"
+                )
+        if len(lines) == 1:
+            lines.append("(artifact carries no admission telemetry)")
+        return "\n".join(lines)
+
+
+def _iter_registries(artifact: RunTelemetry) -> list[MetricsRegistry]:
+    return [MetricsRegistry.from_dict(entry["metrics"]) for entry in artifact.captures()]
+
+
+def summarize(artifact: RunTelemetry) -> ArtifactSummary:
+    """Aggregate an artifact's captures into an :class:`ArtifactSummary`."""
+    accepted = 0
+    rejected = 0
+    reject_reasons: dict[str, int] = {}
+    port_peaks: dict[tuple[str, int], float] = {}
+    counters: dict[str, float] = {}
+    events = 0
+
+    for registry in _iter_registries(artifact):
+        submits = registry.get(SUBMITS_TOTAL)
+        if isinstance(submits, Counter):
+            for labels, value in submits.samples():
+                if labels.get("outcome") == "accepted":
+                    accepted += int(value)
+                elif labels.get("outcome") == "rejected":
+                    rejected += int(value)
+        rejects = registry.get(REJECTS_TOTAL)
+        if isinstance(rejects, Counter):
+            for labels, value in rejects.samples():
+                reason = labels.get("reason", "unspecified")
+                reject_reasons[reason] = reject_reasons.get(reason, 0) + int(value)
+        peaks = registry.get(PORT_PEAK_UTILIZATION)
+        if isinstance(peaks, Gauge):
+            for labels, value in peaks.samples():
+                key = (labels.get("side", "?"), int(labels.get("port", -1)))
+                port_peaks[key] = max(port_peaks.get(key, 0.0), value)
+        for name in registry.names():
+            instrument = registry.get(name)
+            if isinstance(instrument, Counter) and not isinstance(instrument, Gauge):
+                counters[name] = counters.get(name, 0.0) + instrument.total()
+
+    # Flamegraph-style aggregation over every capture's spans.
+    stats: dict[str, list[float]] = {}
+    for entry in artifact.captures():
+        events += len(entry.get("events", []))
+        for span in entry.get("spans", []):
+            end = span.get("end")
+            duration = 0.0 if end is None else float(end) - float(span["start"])
+            stats.setdefault(str(span["name"]), []).append(duration)
+    table = [
+        SpanRow(
+            name=name,
+            count=len(durations),
+            total=sum(durations),
+            mean=sum(durations) / len(durations),
+            max=max(durations),
+        )
+        for name, durations in stats.items()
+    ]
+    table.sort(key=lambda row: (-row.total, row.name))
+
+    return ArtifactSummary(
+        name=artifact.name,
+        captures=len(artifact),
+        accepted=accepted,
+        rejected=rejected,
+        reject_reasons=reject_reasons,
+        port_peaks=port_peaks,
+        span_table=table,
+        events=events,
+        counters=counters,
+    )

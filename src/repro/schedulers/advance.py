@@ -22,6 +22,7 @@ from ..core.allocation import Allocation, ScheduleResult
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
+from ..obs.telemetry import get_telemetry
 from .base import Scheduler
 from .policies import BandwidthPolicy, MinRatePolicy
 
@@ -65,9 +66,12 @@ class EarliestStartFlexible(Scheduler):
     def schedule(self, problem: ProblemInstance) -> ScheduleResult:
         result = self._new_result(policy=self.policy.name)
         ledger = PortLedger(problem.platform)
+        tel = get_telemetry()
         for request in problem.requests.sorted_by_arrival():
             booked = False
+            examined = 0
             for sigma in self._candidate_starts(ledger, request):
+                examined += 1
                 bw = self.policy.assign(request, sigma)
                 if bw is None:
                     continue
@@ -81,4 +85,10 @@ class EarliestStartFlexible(Scheduler):
                     break
             if not booked:
                 result.reject(request.rid, "capacity")
+            if tel.enabled:
+                tel.metrics.counter(
+                    "scheduler_candidates_examined_total",
+                    "Candidate start times examined by book-ahead search, per scheduler.",
+                ).inc(float(examined), scheduler=self.name)
+        self._observe_schedule(problem, result)
         return result

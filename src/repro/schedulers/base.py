@@ -14,6 +14,7 @@ import abc
 
 from ..core.allocation import ScheduleResult
 from ..core.problem import ProblemInstance
+from ..obs.telemetry import get_telemetry
 
 __all__ = ["Scheduler"]
 
@@ -31,6 +32,70 @@ class Scheduler(abc.ABC):
     def _new_result(self, **meta) -> ScheduleResult:
         """Construct an empty result stamped with this scheduler's name."""
         return ScheduleResult(scheduler=self.name, meta=meta)
+
+    def _observe_schedule(self, problem: ProblemInstance, result: ScheduleResult) -> None:
+        """Report a completed scheduling pass through the active telemetry.
+
+        Schedulers call this once, right before returning: it records the
+        accept/reject counters, a per-reason breakdown, one decision event
+        per request, a span per accepted transfer and a span covering the
+        whole pass.  Costs nothing beyond one flag check when the
+        process-wide handle is the default
+        :class:`~repro.obs.telemetry.NullTelemetry`.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        decisions = tel.metrics.counter(
+            "scheduler_decisions_total", "Scheduling decisions by scheduler and outcome."
+        )
+        if result.num_accepted:
+            decisions.inc(float(result.num_accepted), scheduler=self.name, outcome="accepted")
+        if result.num_rejected:
+            decisions.inc(float(result.num_rejected), scheduler=self.name, outcome="rejected")
+        rejects = tel.metrics.counter(
+            "scheduler_rejects_total", "Scheduling rejections by scheduler and reason."
+        )
+        for reason, count in sorted(result.rejection_breakdown().items()):
+            rejects.inc(float(count), scheduler=self.name, reason=reason)
+        span_start, span_end = problem.requests.time_span()
+        tel.tracer.complete(
+            f"schedule[{self.name}]",
+            span_start,
+            span_end,
+            cat="scheduler",
+            accepted=result.num_accepted,
+            rejected=result.num_rejected,
+        )
+        for alloc in result.allocations():
+            tel.tracer.complete(
+                "transfer",
+                alloc.sigma,
+                alloc.tau,
+                cat=self.name,
+                tid=alloc.ingress,
+                rid=alloc.rid,
+                bw=alloc.bw,
+            )
+            tel.emit(
+                "scheduler.decision",
+                alloc.sigma,
+                scheduler=self.name,
+                rid=alloc.rid,
+                outcome="accepted",
+                sigma=alloc.sigma,
+                tau=alloc.tau,
+                bw=alloc.bw,
+            )
+        for rid in sorted(result.rejected):
+            tel.emit(
+                "scheduler.decision",
+                span_end,
+                scheduler=self.name,
+                rid=rid,
+                outcome="rejected",
+                reason=result.rejection_reasons.get(rid, "unspecified"),
+            )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -115,6 +115,7 @@ class GreedyFlexible(Scheduler):
                 result.accept(occupancy.admit(request, bw, sigma))
             else:
                 result.reject(request.rid, "capacity")
+        self._observe_schedule(problem, result)
         return result
 
 
@@ -218,4 +219,5 @@ class WindowFlexible(Scheduler):
                 request, bw = pool[best]
                 alive[best] = False
                 result.accept(occupancy.admit(request, bw, decision_time))
+        self._observe_schedule(problem, result)
         return result

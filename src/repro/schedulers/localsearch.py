@@ -25,6 +25,7 @@ from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
+from ..obs.telemetry import get_telemetry
 from .base import Scheduler
 from .policies import BandwidthPolicy, MinRatePolicy
 
@@ -124,12 +125,14 @@ class LocalSearchScheduler(Scheduler):
                     )
         if not requests:
             result = self._new_result()
+            self._observe_schedule(problem, result)
             return result
 
         rng = np.random.default_rng(self.seed)
         budget = self.iterations
         per_restart = max(1, budget // self.restarts)
 
+        decodes = 0
         best: ScheduleResult | None = None
         for restart in range(self.restarts):
             if restart == 0:
@@ -140,6 +143,7 @@ class LocalSearchScheduler(Scheduler):
                 order = list(requests)
                 rng.shuffle(order)  # type: ignore[arg-type]
             current = self._decode(problem, order)
+            decodes += 1
             for _ in range(per_restart):
                 i = int(rng.integers(len(order)))
                 j = int(rng.integers(len(order)))
@@ -149,6 +153,7 @@ class LocalSearchScheduler(Scheduler):
                 moved = candidate.pop(i)
                 candidate.insert(j, moved)
                 decoded = self._decode(problem, candidate)
+                decodes += 1
                 if decoded.num_accepted > current.num_accepted:
                     order, current = candidate, decoded
             if best is None or current.num_accepted > best.num_accepted:
@@ -158,4 +163,11 @@ class LocalSearchScheduler(Scheduler):
             raise InternalInvariantError("restarts >= 1 yet no candidate was decoded")
         best.scheduler = self.name
         best.meta = {"iterations": self.iterations, "restarts": self.restarts, "mode": self.mode}
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "scheduler_decodes_total",
+                "Permutations decoded by the local search, per scheduler.",
+            ).inc(float(decodes), scheduler=self.name)
+        self._observe_schedule(problem, best)
         return best

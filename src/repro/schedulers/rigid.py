@@ -57,6 +57,7 @@ class FCFSRigid(Scheduler):
                 result.accept(Allocation.for_request(request, bw))
             else:
                 result.reject(request.rid, "capacity")
+        self._observe_schedule(problem, result)
         return result
 
 
@@ -136,6 +137,7 @@ class SlotsScheduler(Scheduler):
         for request in requests:
             if request.rid in alive:
                 result.accept(Allocation.for_request(request, request.min_rate))
+        self._observe_schedule(problem, result)
         return result
 
 

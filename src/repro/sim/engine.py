@@ -13,6 +13,7 @@ import math
 from collections.abc import Callable
 from typing import Any
 
+from ..obs.telemetry import get_telemetry
 from .events import Event, EventQueue
 from .trace import EventTrace
 
@@ -85,6 +86,13 @@ class Simulator:
         self._steps += 1
         if self.trace is not None:
             self.trace.record(event)
+        tel = get_telemetry()
+        if tel.enabled:
+            label = getattr(event.callback, "__name__", "event")
+            tel.metrics.counter(
+                "sim_events_total", "Simulation events dispatched, by callback."
+            ).inc(label=label)
+            tel.tracer.instant(f"sim.{label}", event.time, cat="sim")
         event.callback(event)
         return True
 
@@ -94,6 +102,7 @@ class Simulator:
         Events scheduled exactly at ``until`` are still dispatched.  Returns
         the final clock value.
         """
+        started_at = self._now
         steps = 0
         while True:
             next_time = self.queue.peek_time()
@@ -107,4 +116,8 @@ class Simulator:
             self._now = max(self._now, until)
         elif self.queue.peek_time() is None and until is not math.inf:
             self._now = max(self._now, until)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.tracer.complete("sim.run", started_at, self._now, cat="sim", steps=steps)
+            tel.emit("sim.run", self._now, started_at=started_at, steps=steps)
         return self._now

@@ -77,3 +77,22 @@ class EventTrace:
     def times(self) -> list[float]:
         """Dispatch times, in order."""
         return [r.time for r in self._records]
+
+    def summary(self) -> dict[str, Any]:
+        """Digest of the trace: retained/dropped counts and label histogram.
+
+        ``dropped`` counts FIFO evictions by the capacity bound, so
+        ``recorded = retained + dropped`` is the true number of dispatches
+        even when only the tail was kept.
+        """
+        labels: dict[str, int] = {}
+        for record in self._records:
+            labels[record.label] = labels.get(record.label, 0) + 1
+        return {
+            "retained": len(self._records),
+            "dropped": self._dropped,
+            "recorded": len(self._records) + self._dropped,
+            "labels": dict(sorted(labels.items())),
+            "first_time": self._records[0].time if self._records else None,
+            "last_time": self._records[-1].time if self._records else None,
+        }

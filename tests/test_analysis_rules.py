@@ -56,6 +56,17 @@ class TestGL001WallClock:
         report = _scan(tmp_path, source, filename="benchmarks/bench_x.py")
         assert _active(report, "GL001") == []
 
+    def test_perfclock_allowlist_is_scoped_to_one_module(self, tmp_path):
+        source = "import time\n\ndef now():\n    return time.perf_counter()\n"
+        report = _scan(tmp_path / "a", source, filename="obs/perfclock.py")
+        assert _active(report, "GL001") == []
+        # The exemption covers exactly repro/obs/perfclock.py — its siblings
+        # in the obs package still must not read the wall clock.
+        report = _scan(tmp_path / "b", source, filename="obs/metrics.py")
+        assert len(_active(report, "GL001")) == 1
+        report = _scan(tmp_path / "c", source, filename="obs/tracer.py")
+        assert len(_active(report, "GL001")) == 1
+
     def test_suppression(self, tmp_path):
         report = _scan(
             tmp_path,

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core import verify_schedule
+from repro.core import (
+    Platform,
+    ProblemInstance,
+    Request,
+    RequestSet,
+    ScheduleResult,
+    verify_schedule,
+)
 from repro.metrics import Table, evaluate, jain_index
 from repro.schedulers import GreedyFlexible, WindowFlexible
 from repro.workload import paper_flexible_workload
@@ -52,6 +59,62 @@ class TestEvaluate:
         flat = report.as_dict()
         assert "guaranteed_f0.5" in flat
         assert flat["accept_rate"] == report.accept_rate
+
+
+class TestEvaluateEdgeCases:
+    """evaluate() must stay finite on degenerate schedules (no div-by-zero)."""
+
+    def _request(self, rid: int = 0) -> Request:
+        return Request(
+            rid=rid, ingress=0, egress=0, volume=100.0, t_start=0.0, t_end=100.0, max_rate=10.0
+        )
+
+    def test_empty_schedule(self):
+        prob = ProblemInstance(platform=Platform.uniform(2, 2, 10.0), requests=RequestSet())
+        report = evaluate(prob, ScheduleResult(scheduler="noop"))
+        assert report.num_requests == 0
+        assert report.accept_rate == 0.0
+        assert report.resource_utilization == 0.0
+        assert report.utilization_time_averaged == 0.0
+        assert report.mean_wait == 0.0 and report.max_wait == 0.0
+        assert report.mean_granted_over_max == 0.0
+        assert report.mean_transfer_duration == 0.0
+        assert report.port_jain_index == 1.0
+        assert all(rate == 0.0 for rate in report.guaranteed.values())
+
+    def test_all_rejected(self):
+        requests = RequestSet([self._request(0), self._request(1), self._request(2)])
+        prob = ProblemInstance(platform=Platform.uniform(2, 2, 10.0), requests=requests)
+        result = ScheduleResult(
+            rejected={0, 1, 2},
+            scheduler="noop",
+            rejection_reasons={0: "capacity", 1: "capacity", 2: "deadline"},
+        )
+        report = evaluate(prob, result)
+        assert report.num_requests == 3
+        assert report.accept_rate == 0.0
+        assert report.mean_wait == 0.0
+        assert report.mean_granted_over_max == 0.0
+        assert report.port_jain_index == 1.0
+        assert all(rate == 0.0 for rate in report.guaranteed.values())
+
+    def test_single_request(self):
+        from repro.core import Allocation
+
+        requests = RequestSet([self._request(0)])
+        prob = ProblemInstance(platform=Platform.uniform(2, 2, 10.0), requests=requests)
+        result = ScheduleResult(
+            accepted={0: Allocation(rid=0, ingress=0, egress=0, bw=10.0, sigma=0.0, tau=10.0)},
+            scheduler="noop",
+        )
+        report = evaluate(prob, result)
+        assert report.num_requests == 1
+        assert report.accept_rate == 1.0
+        assert report.mean_wait == 0.0
+        assert report.mean_granted_over_max == pytest.approx(1.0)
+        assert report.mean_transfer_duration == pytest.approx(10.0)
+        assert 0.0 < report.port_jain_index <= 1.0
+        assert report.guaranteed[1.0] == pytest.approx(1.0)
 
 
 class TestTable:

@@ -1,0 +1,94 @@
+"""Tests for the grid-obs CLI (repro.obs.cli)."""
+
+import json
+
+import pytest
+
+from repro.obs import RunTelemetry, Telemetry
+from repro.obs.cli import main
+
+
+@pytest.fixture
+def artifact_path(tmp_path):
+    tel = Telemetry()
+    submits = tel.metrics.counter("service_submits_total")
+    submits.inc(2.0, outcome="accepted")
+    submits.inc(outcome="rejected")
+    tel.metrics.counter("service_rejects_total").inc(reason="ingress-full")
+    tel.metrics.gauge("service_port_peak_utilization").set_max(0.75, side="ingress", port=0)
+    tel.tracer.complete("reservation", 0.0, 100.0, cat="service")
+    tel.emit("service.submit", 0.0, rid=0, outcome="accepted")
+    artifact = RunTelemetry("cli-test")
+    artifact.capture("run", tel)
+    path = tmp_path / "run.json"
+    artifact.save(path)
+    return path
+
+
+class TestSummary:
+    def test_text_summary(self, artifact_path, capsys):
+        assert main(["summary", str(artifact_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 accepted / 1 rejected" in out
+        assert "ingress-full" in out
+        assert "reservation" in out
+
+    def test_json_summary(self, artifact_path, capsys):
+        assert main(["summary", str(artifact_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["accepted"] == 2
+        assert data["rejected"] == 1
+        assert data["reject_reasons"] == {"ingress-full": 1}
+        assert data["port_peaks"] == {"ingress:0": 0.75}
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["summary", "/no/such/artifact.json"]) == 2
+
+    def test_non_artifact_json_is_usage_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"whatever": 1}')
+        assert main(["summary", str(bogus)]) == 2
+
+
+class TestConvert:
+    def test_to_chrome_writes_valid_trace(self, artifact_path, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["convert", str(artifact_path), "--to", "chrome", "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"][0]["name"] == "reservation"
+        assert main(["validate", str(out_path), "--kind", "chrome"]) == 0
+
+    def test_to_jsonl(self, artifact_path, capsys):
+        assert main(["convert", str(artifact_path), "--to", "jsonl"]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "reservation"
+
+    def test_to_prometheus(self, artifact_path, capsys):
+        assert main(["convert", str(artifact_path), "--to", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert 'service_submits_total{outcome="accepted"} 2' in out
+        assert "# capture: run" in out
+
+
+class TestValidate:
+    def test_auto_sniffs_artifact(self, artifact_path, capsys):
+        assert main(["validate", str(artifact_path)]) == 0
+        assert "valid artifact" in capsys.readouterr().out
+
+    def test_auto_sniffs_chrome(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"traceEvents": []}))
+        assert main(["validate", str(trace)]) == 0
+        assert "valid chrome" in capsys.readouterr().out
+
+    def test_invalid_document_exits_1(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        assert main(["validate", str(broken), "--kind", "chrome"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unreadable_json_exits_2(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["validate", str(garbage)]) == 2

@@ -1,0 +1,134 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == pytest.approx(3.0)
+
+    def test_labels_address_distinct_samples(self):
+        c = Counter("requests_total")
+        c.inc(outcome="accepted")
+        c.inc(outcome="accepted")
+        c.inc(outcome="rejected")
+        assert c.value(outcome="accepted") == pytest.approx(2.0)
+        assert c.value(outcome="rejected") == pytest.approx(1.0)
+        assert c.total() == pytest.approx(3.0)
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("x")
+        c.inc(port=3, side="ingress")
+        c.inc(side="ingress", port=3)
+        assert c.value(port=3, side="ingress") == pytest.approx(2.0)
+
+    def test_counters_cannot_decrease(self):
+        c = Counter("x")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+    def test_unknown_label_set_reads_zero(self):
+        c = Counter("x")
+        assert c.value(port=99) == 0.0
+
+
+class TestGauge:
+    def test_set_and_negative_inc(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value() == pytest.approx(3.0)
+
+    def test_set_max_tracks_peaks(self):
+        g = Gauge("peak")
+        g.set_max(0.4, port=0)
+        g.set_max(0.9, port=0)
+        g.set_max(0.5, port=0)
+        assert g.value(port=0) == pytest.approx(0.9)
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        h = Histogram("latency", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(55.5)
+
+    def test_bucket_assignment(self):
+        h = Histogram("latency", buckets=(1.0, 10.0))
+        h.observe(1.0)  # on the bound: goes to the first bucket (le semantics)
+        h.observe(2.0)
+        h.observe(100.0)  # +inf bucket
+        data = h.to_dict()["samples"][0]
+        assert data["counts"] == [1, 1, 1]
+
+    def test_exposition_is_cumulative(self):
+        h = Histogram("latency", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = "\n".join(h.expose())
+        assert 'latency_bucket{le="1"} 1' in text
+        assert 'latency_bucket{le="10"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 3' in text
+        assert "latency_count 3" in text
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+
+    def test_prometheus_text_sorted_and_labeled(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta", "last").inc()
+        reg.gauge("alpha", "first").set(2.5, side="ingress", port=1)
+        text = reg.to_prometheus_text()
+        assert text.index("alpha") < text.index("zeta")
+        assert 'alpha{port="1",side="ingress"} 2.5' in text
+        assert "# HELP alpha first" in text
+        assert "# TYPE zeta counter" in text
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help c").inc(3.0, outcome="accepted")
+        reg.gauge("g").set(1.5, port=2)
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5, kind="x")
+        h.observe(5.0, kind="x")
+        rebuilt = MetricsRegistry.from_dict(json.loads(reg.to_json()))
+        assert rebuilt.to_json() == reg.to_json()
+        assert rebuilt.counter("c").value(outcome="accepted") == pytest.approx(3.0)
+        assert rebuilt.histogram("h", buckets=(1.0, 2.0)).count(kind="x") == 2
+
+    def test_export_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            # Insertion order intentionally scrambled vs name/label order.
+            reg.counter("b").inc(port=2)
+            reg.counter("a").inc(side="egress")
+            reg.counter("b").inc(port=1)
+            return reg
+
+        assert build().to_json() == build().to_json()
+        assert build().to_prometheus_text() == build().to_prometheus_text()

@@ -1,0 +1,97 @@
+"""Tests for the sim-clock span tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.obs import Span, SpanTracer, validate_chrome_trace
+from repro.obs.tracer import SECONDS_TO_TRACE_US
+
+
+class TestSpans:
+    def test_begin_finish(self):
+        tracer = SpanTracer()
+        span = tracer.begin("transfer", 10.0, cat="service", tid=3, rid=7)
+        assert span.end is None and span.duration == 0.0
+        tracer.finish(span, 25.0)
+        assert span.duration == pytest.approx(15.0)
+        assert span.args == {"rid": 7}
+
+    def test_finish_twice_is_an_error(self):
+        tracer = SpanTracer()
+        span = tracer.complete("x", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            tracer.finish(span, 2.0)
+
+    def test_finish_before_start_is_an_error(self):
+        tracer = SpanTracer()
+        span = tracer.begin("x", 5.0)
+        with pytest.raises(ConfigurationError):
+            tracer.finish(span, 4.0)
+
+    def test_complete_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SpanTracer().complete("x", 2.0, 1.0)
+
+    def test_instant_is_zero_length(self):
+        span = SpanTracer().instant("arrival", 3.0)
+        assert span.kind == "instant"
+        assert span.duration == 0.0
+
+    def test_filtering(self):
+        tracer = SpanTracer()
+        tracer.complete("a", 0.0, 1.0, cat="x")
+        tracer.complete("a", 1.0, 2.0, cat="y")
+        tracer.complete("b", 0.0, 1.0, cat="x")
+        assert len(tracer.spans(name="a")) == 2
+        assert len(tracer.spans(cat="x")) == 2
+        assert len(tracer.spans(name="a", cat="x")) == 1
+
+
+class TestCapacity:
+    def test_fifo_eviction_counts_dropped(self):
+        tracer = SpanTracer(capacity=3)
+        for k in range(8):
+            tracer.complete(f"s{k}", float(k), float(k) + 1.0)
+        assert len(tracer) == 3
+        assert tracer.dropped == 5
+        assert [s.name for s in tracer] == ["s5", "s6", "s7"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SpanTracer(capacity=0)
+
+
+class TestChromeTrace:
+    def _tracer(self):
+        tracer = SpanTracer()
+        tracer.complete("transfer", 100.0, 250.0, cat="service", tid=2, rid=1, bw=33.0)
+        tracer.instant("arrival", 100.0, cat="sim")
+        tracer.begin("open", 300.0)
+        return tracer
+
+    def test_export_shapes(self):
+        doc = self._tracer().to_chrome_trace(pid=5)
+        events = {e["ph"]: e for e in doc["traceEvents"]}
+        assert events["X"]["ts"] == pytest.approx(100.0 * SECONDS_TO_TRACE_US)
+        assert events["X"]["dur"] == pytest.approx(150.0 * SECONDS_TO_TRACE_US)
+        assert events["X"]["args"] == {"rid": 1, "bw": 33.0}
+        assert events["i"]["s"] == "t"
+        assert "dur" not in events["B"]
+        assert all(e["pid"] == 5 for e in doc["traceEvents"])
+
+    def test_export_validates_against_schema(self):
+        validate_chrome_trace(self._tracer().to_chrome_trace())
+
+    def test_chrome_roundtrip(self):
+        original = self._tracer()
+        rebuilt = SpanTracer.from_chrome_trace(original.to_chrome_trace())
+        assert rebuilt.to_dicts() == original.to_dicts()
+
+    def test_jsonl_roundtrip(self):
+        original = self._tracer()
+        rebuilt = SpanTracer.from_jsonl(original.to_jsonl())
+        assert rebuilt.to_dicts() == original.to_dicts()
+
+    def test_span_dict_roundtrip(self):
+        span = Span(name="x", start=1.0, end=2.0, cat="c", tid=4, args={"k": 1}, kind="span")
+        assert Span.from_dict(span.to_dict()) == span

@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.control import ReservationService, ReservationState
+from repro.control import RejectReason, ReservationService, ReservationState
 from repro.core import ConfigurationError, InvalidRequestError, Platform
+from repro.obs import NullTelemetry, Telemetry, get_telemetry, use_telemetry
 from repro.schedulers import FractionOfMaxPolicy
 
 
@@ -237,3 +238,88 @@ class TestStripedSubmission:
         b = service.submit_striped(sources=[2, 3], egress=1, volume=100.0, deadline=100.0, now=1.0)
         rids = [al.rid for al in a.allocations] + [al.rid for al in b.allocations]
         assert len(set(rids)) == len(rids)
+
+
+class TestRejectReasons:
+    def test_capacity_rejection_names_ingress(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        service.submit(ingress=0, egress=0, volume=1000.0, deadline=100.0, now=0.0)
+        r = service.submit(ingress=0, egress=0, volume=1000.0, deadline=12.0, now=1.0)
+        assert not r.confirmed
+        # uniform platform: both sides equally full, ingress reported first
+        assert r.reject_reason is RejectReason.INGRESS_FULL
+
+    def test_capacity_rejection_names_egress(self):
+        # two wide ingress ports funnel into one narrow egress
+        service = ReservationService(
+            Platform([100.0, 100.0], [50.0]), policy=FractionOfMaxPolicy(1.0)
+        )
+        service.submit(ingress=0, egress=0, volume=500.0, deadline=100.0, now=0.0)
+        r = service.submit(ingress=1, egress=0, volume=500.0, deadline=11.0, now=1.0)
+        assert not r.confirmed
+        assert r.reject_reason is RejectReason.EGRESS_FULL
+
+    def test_accepted_reservation_has_no_reason(self, service):
+        r = service.submit(ingress=0, egress=1, volume=100.0, deadline=100.0, now=0.0)
+        assert r.confirmed
+        assert r.reject_reason is None
+
+    def test_reject_reason_survives_snapshot(self):
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+        )
+        service.submit(ingress=0, egress=0, volume=1000.0, deadline=100.0, now=0.0)
+        service.submit(ingress=0, egress=0, volume=1000.0, deadline=12.0, now=1.0)
+        snap = service.snapshot()
+        reasons = [entry["reject_reason"] for entry in snap["reservations"]]
+        assert reasons == [None, "ingress-full"]
+
+
+class TestServiceTelemetry:
+    def test_ctor_handle_overrides_global(self):
+        tel = Telemetry()
+        service = ReservationService(Platform.uniform(2, 2, 100.0), telemetry=tel)
+        service.submit(ingress=0, egress=1, volume=100.0, deadline=100.0, now=0.0)
+        submits = tel.metrics.counter("service_submits_total")
+        assert submits.value(outcome="accepted") == 1.0
+        # the process-wide handle stays the inert default
+        assert isinstance(get_telemetry(), NullTelemetry)
+        assert get_telemetry().is_empty()
+
+    def test_global_handle_used_when_ctor_omitted(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            service = ReservationService(
+                Platform.uniform(1, 1, 100.0), policy=FractionOfMaxPolicy(1.0)
+            )
+            service.submit(ingress=0, egress=0, volume=1000.0, deadline=100.0, now=0.0)
+            service.submit(ingress=0, egress=0, volume=1000.0, deadline=12.0, now=1.0)
+        submits = tel.metrics.counter("service_submits_total")
+        assert submits.value(outcome="accepted") == 1.0
+        assert submits.value(outcome="rejected") == 1.0
+        rejects = tel.metrics.counter("service_rejects_total")
+        assert rejects.value(reason="ingress-full") == 1.0
+        assert [e.name for e in tel.events] == ["service.submit", "service.submit"]
+
+    def test_lifecycle_counters(self):
+        tel = Telemetry()
+        service = ReservationService(Platform.uniform(2, 2, 100.0), telemetry=tel)
+        r = service.submit(ingress=0, egress=1, volume=1000.0, deadline=100.0, now=0.0)
+        service.cancel(r.rid, now=1.0)
+        assert tel.metrics.counter("service_cancels_total").total() == 1.0
+        names = [e.name for e in tel.events]
+        assert names == ["service.submit", "service.cancel"]
+
+    def test_peak_utilization_gauge(self):
+        tel = Telemetry()
+        service = ReservationService(
+            Platform.uniform(1, 1, 100.0),
+            policy=FractionOfMaxPolicy(0.5),
+            telemetry=tel,
+        )
+        service.submit(ingress=0, egress=0, volume=100.0, deadline=100.0, now=0.0)
+        gauge = tel.metrics.gauge("service_port_peak_utilization")
+        assert gauge.value(side="ingress", port=0) == pytest.approx(0.5)
+        assert gauge.value(side="egress", port=0) == pytest.approx(0.5)
