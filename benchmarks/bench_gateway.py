@@ -1,0 +1,153 @@
+"""Gateway throughput vs shard count and batch size (simulated cost model).
+
+Wall-clock timing of a single-process simulation cannot demonstrate
+sharding: every "parallel" broker runs on the same interpreter.  The
+gateway therefore carries a deterministic cost model — each broker
+accrues simulated work units (candidate scans, holds, commits, sweeps),
+and a flushed batch costs its coordinator overhead plus the **maximum**
+work any one broker did for it (brokers are conceptually parallel, so
+the batch's critical path is its busiest broker).  Throughput here is
+``decided requests / accumulated simulated cost``: deterministic,
+seed-reproducible, and immune to CI machine noise.
+
+The bench sweeps shards × batch size over one fixed wave workload and
+asserts the headline claim: batched multi-shard admission sustains at
+least ``MIN_SPEEDUP`` (2×) the single-shard, unbatched throughput.  It
+also asserts the sweep is decision-invariant — sharding and batching
+(FIFO) change *where* the work happens, never *what* is admitted.
+
+Results land in ``benchmarks/results/BENCH_gateway.json`` (uploaded as a
+CI artifact) plus a human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.platform import Platform
+from repro.gateway import Gateway
+
+#: Batched multi-shard must beat single-shard unbatched by at least this.
+MIN_SPEEDUP = 2.0
+
+PORTS = 16
+CAP = 1000.0
+SHARD_COUNTS = (1, 2, 4, 8)
+BATCH_SIZES = (1, 4, 8)
+WAVES = 40
+WAVE_SIZE = 8  # = max batch size, so full batches can coalesce
+
+
+def wave_workload(seed=0):
+    """Submissions in waves: WAVE_SIZE concurrent arrivals per instant.
+
+    Concurrency is what batching exposes; the same fixed stream feeds
+    every (shards, batch) configuration.
+    """
+    rng = np.random.default_rng(seed)
+    submissions = []
+    for wave in range(WAVES):
+        t = wave * 30.0
+        for _ in range(WAVE_SIZE):
+            window = float(rng.uniform(200.0, 900.0))
+            submissions.append(
+                {
+                    "ingress": int(rng.integers(PORTS)),
+                    "egress": int(rng.integers(PORTS)),
+                    "volume": min(
+                        float(rng.uniform(10_000.0, 120_000.0)), 0.8 * CAP * window
+                    ),
+                    "deadline": t + window,
+                    "now": t,
+                }
+            )
+    return submissions
+
+
+def run_config(submissions, num_shards, batch_size):
+    gateway = Gateway(
+        Platform.uniform(PORTS, PORTS, CAP),
+        num_shards=num_shards,
+        batch_size=batch_size,
+    )
+    for sub in submissions:
+        gateway.submit(**sub)
+    gateway.drain(submissions[-1]["now"])
+    assert gateway.pending() == 0
+    return gateway
+
+
+def test_batched_sharded_gateway_doubles_throughput(results_dir):
+    submissions = wave_workload()
+    rows = []
+    accepted_counts = set()
+    throughput = {}
+    for shards in SHARD_COUNTS:
+        for batch in BATCH_SIZES:
+            gw = run_config(submissions, shards, batch)
+            decided = gw.stats.accepted + gw.stats.rejected
+            assert decided == len(submissions)
+            accepted_counts.add(gw.stats.accepted)
+            tp = gw.throughput()
+            throughput[(shards, batch)] = tp
+            rows.append(
+                {
+                    "shards": shards,
+                    "batch_size": batch,
+                    "accepted": gw.stats.accepted,
+                    "rejected": gw.stats.rejected,
+                    "local": gw.stats.local,
+                    "cross_shard": gw.stats.cross_shard,
+                    "fastpath_hits": gw.stats.fastpath_hits,
+                    "batches": gw.stats.batches,
+                    "simulated_cost": round(gw.simulated_cost, 3),
+                    "throughput": round(tp, 6),
+                }
+            )
+
+    # Sharding/batching must not change a single admission decision.
+    assert len(accepted_counts) == 1, f"decisions varied across configs: {accepted_counts}"
+
+    baseline = throughput[(1, 1)]
+    best_sharded = max(
+        tp for (shards, batch), tp in throughput.items() if shards > 1 and batch > 1
+    )
+    speedup = best_sharded / baseline
+
+    lines = [
+        f"{'shards':>6} {'batch':>5} {'cost':>10} {'throughput':>10} {'speedup':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['shards']:>6} {row['batch_size']:>5} {row['simulated_cost']:>10} "
+            f"{row['throughput']:>10} "
+            f"{row['throughput'] / baseline:>8.2f}"
+        )
+    (results_dir / "BENCH_gateway.txt").write_text("\n".join(lines) + "\n")
+    (results_dir / "BENCH_gateway.json").write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "waves": WAVES,
+                    "wave_size": WAVE_SIZE,
+                    "ports": PORTS,
+                    "capacity": CAP,
+                },
+                "rows": rows,
+                "baseline_throughput": baseline,
+                "best_sharded_throughput": best_sharded,
+                "speedup": speedup,
+                "min_speedup": MIN_SPEEDUP,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched multi-shard throughput is only {speedup:.2f}x the single-shard "
+        f"unbatched baseline (need >= {MIN_SPEEDUP}x); see BENCH_gateway.json"
+    )

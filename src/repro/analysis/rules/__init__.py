@@ -15,6 +15,7 @@ from .encapsulation import LedgerEncapsulationRule
 from .registry_complete import RegistryCompletenessRule
 from .journal_safety import JournalSafetyRule
 from .asserts import NoAssertRule
+from .shard_ledger import ShardLedgerRule
 
 __all__ = ["all_rules", "default_rules", "rules_by_id"]
 
@@ -26,6 +27,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     RegistryCompletenessRule,
     JournalSafetyRule,
     NoAssertRule,
+    ShardLedgerRule,
 )
 
 

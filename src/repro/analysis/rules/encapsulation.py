@@ -31,10 +31,11 @@ _PROTECTED: dict[str, tuple[str, ...]] = {
     "_egress": ("core/ledger.py", "core/booking.py"),
     "_ingress_red": ("core/ledger.py", "core/booking.py"),
     "_egress_red": ("core/ledger.py", "core/booking.py"),
-    # Reservation lifecycle stamps (owned by the reservation service).
-    "cancelled_at": ("control/service.py",),
-    "aborted_at": ("control/service.py",),
-    "displaced_at": ("control/service.py",),
+    # Reservation lifecycle stamps (owned by the admission front-ends:
+    # the monolithic service and the sharded gateway facade).
+    "cancelled_at": ("control/service.py", "gateway/gateway.py"),
+    "aborted_at": ("control/service.py", "gateway/gateway.py"),
+    "displaced_at": ("control/service.py", "gateway/gateway.py"),
 }
 
 

@@ -8,7 +8,16 @@ against mid-flight aborts, port outages, and process crashes
 (:mod:`repro.control.faults`, :mod:`repro.control.journal`).
 """
 
-from .faults import AbortFault, FaultDrillReport, FaultInjector, PortFault, run_fault_drill
+from .faults import (
+    AbortFault,
+    BrokerCrash,
+    FaultDrillReport,
+    FaultInjector,
+    GatewayDrillReport,
+    PortFault,
+    run_fault_drill,
+    run_gateway_fault_drill,
+)
 from .journal import Journal, JournalEntry
 from .messages import MessageType, ReservationMessage
 from .plane import ControlPlane
@@ -19,9 +28,11 @@ from .token_bucket import TokenBucket, enforce_series
 
 __all__ = [
     "AbortFault",
+    "BrokerCrash",
     "ControlPlane",
     "FaultDrillReport",
     "FaultInjector",
+    "GatewayDrillReport",
     "Journal",
     "JournalEntry",
     "MessageType",
@@ -38,4 +49,5 @@ __all__ = [
     "enforce_series",
     "plan_striped",
     "run_fault_drill",
+    "run_gateway_fault_drill",
 ]

@@ -19,6 +19,10 @@ out.
 :func:`run_fault_drill` wires a whole experiment — workload arrivals,
 random aborts, planned port faults — through one simulator, and is what
 the fault benchmark, the example scenario, and the end-to-end tests run.
+:func:`run_gateway_fault_drill` is its sharded sibling: the same workload
+and faults served by a :class:`~repro.gateway.Gateway`, plus
+:class:`BrokerCrash` events that kill shard brokers mid-protocol (their
+volatile holds are wiped and in-flight two-phase transactions abort).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..core.booking import deadline_tolerance
 from ..core.errors import ConfigurationError
@@ -37,12 +42,19 @@ from ..sim.engine import Simulator
 from .journal import Journal
 from .service import Reservation, ReservationService
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from ..gateway import Gateway
+    from ..gateway.edge import EdgeLimit
+
 __all__ = [
     "AbortFault",
+    "BrokerCrash",
     "PortFault",
     "FaultInjector",
     "FaultDrillReport",
+    "GatewayDrillReport",
     "run_fault_drill",
+    "run_gateway_fault_drill",
 ]
 
 
@@ -76,6 +88,30 @@ class PortFault:
     def outage(cls, side: str, port: int, capacity: float, start: float, end: float) -> PortFault:
         """A full outage: the whole ``capacity`` disappears over the window."""
         return cls(side=side, port=port, amount=capacity, start=start, end=end)
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerCrash:
+    """Kill shard broker ``shard`` at ``at``; restart it at ``restart_at``.
+
+    A crash wipes the broker's volatile two-phase holds (the reserved
+    capacity returns instantly) and makes every prepare/commit against it
+    fail until restart — requests pending in the gateway batch at the
+    crash instant exercise the mid-prepare abort path.  ``restart_at``
+    ``None`` leaves the broker down for the rest of the drill.
+    """
+
+    shard: int
+    at: float
+    restart_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ConfigurationError(f"shard must be >= 0, got {self.shard}")
+        if self.restart_at is not None and not (self.restart_at > self.at):
+            raise ConfigurationError(
+                f"restart_at must follow the crash: {self.restart_at} <= {self.at}"
+            )
 
 
 class FaultInjector:
@@ -252,4 +288,141 @@ def run_fault_drill(
     for fault in faults:
         injector.schedule_fault(fault)
     sim.run(until=until if until is not None else float("inf"))
+    return report
+
+
+@dataclass
+class GatewayDrillReport:
+    """Everything a sharded (gateway) fault-injection run produces."""
+
+    gateway: Any  # repro.gateway.Gateway (annotated loosely: cycle guard)
+    aborts: list[AbortFault] = field(default_factory=list)
+    faults: list[PortFault] = field(default_factory=list)
+    crashes: list[BrokerCrash] = field(default_factory=list)
+
+    @property
+    def journal(self) -> Journal | None:
+        """The gateway's operation journal (when one was attached)."""
+        return self.gateway.journal
+
+
+def run_gateway_fault_drill(
+    platform: Platform,
+    requests: Iterable[Request],
+    *,
+    num_shards: int = 1,
+    batch_size: int = 1,
+    ordering: str = "fifo",
+    policy: BandwidthPolicy | None = None,
+    abort_rate: float = 0.0,
+    faults: Sequence[PortFault] = (),
+    crashes: Sequence[BrokerCrash] = (),
+    edge: EdgeLimit | None = None,
+    hold_ttl: float = 300.0,
+    backoff: BackoffSchedule | None = None,
+    journal: Journal | None = None,
+    seed: int = 0,
+    until: float | None = None,
+) -> GatewayDrillReport:
+    """:func:`run_fault_drill` against a sharded, batched gateway.
+
+    The same experiment shape — arrivals at ``t_start``, sampled
+    mid-flight aborts, planned port faults — served by a
+    :class:`~repro.gateway.Gateway`, with one extra hazard class:
+    :class:`BrokerCrash` events.  At each crash instant arrivals already
+    scheduled at that time have been submitted (events at equal times run
+    in priority order; crashes run last), so when their batch decides it
+    faces the dead broker: prepares fail, placed holds are aborted, and
+    the requests reject ``broker-unavailable`` after burning the two-phase
+    retry budget.  The trailing open batch is drained at the end of the
+    run, so every submission is decided in the returned report.
+
+    Displacement rebooking is a service-drill feature and is not offered
+    here; displaced residuals stay unbooked.  Aborts sampled for a batched
+    decision are scheduled from the decision (flush) time, mirroring the
+    service drill's "from confirmation" semantics.
+    """
+    from ..gateway import Gateway  # local import: control <-> gateway cycle
+
+    if not (0.0 <= abort_rate <= 1.0):
+        raise ConfigurationError(f"abort_rate must be in [0, 1], got {abort_rate}")
+    sim = Simulator()
+    rng = random.Random(seed)
+    gateway = Gateway(
+        platform,
+        num_shards=num_shards,
+        batch_size=batch_size,
+        ordering=ordering,
+        policy=policy,
+        edge=edge,
+        hold_ttl=hold_ttl,
+        backoff=backoff,
+        journal=journal,
+    )
+    report = GatewayDrillReport(gateway=gateway, faults=list(faults), crashes=list(crashes))
+
+    def on_decision(reservation: Reservation, now: float) -> None:
+        if abort_rate <= 0.0 or reservation.allocation is None:
+            return
+        if rng.random() >= abort_rate:
+            return
+        alloc = reservation.allocation
+        lo = max(now, alloc.sigma)
+        if lo >= alloc.tau:
+            return
+        fault = AbortFault(rid=reservation.rid, at=rng.uniform(lo, alloc.tau))
+        report.aborts.append(fault)
+        sim.at(fault.at, on_abort, payload=fault)
+
+    gateway.on_decision = on_decision
+
+    def on_arrival(event) -> None:
+        request: Request = event.payload
+        gateway.submit(
+            ingress=request.ingress,
+            egress=request.egress,
+            volume=request.volume,
+            deadline=request.t_end,
+            now=sim.now,
+            max_rate=request.max_rate,
+        )
+
+    def on_abort(event) -> None:
+        fault: AbortFault = event.payload
+        gateway.abort(fault.rid, now=sim.now)
+
+    def on_port_fault(event) -> None:
+        fault: PortFault = event.payload
+        gateway.degrade(
+            side=fault.side,
+            port=fault.port,
+            amount=fault.amount,
+            start=fault.start,
+            end=fault.end,
+            now=sim.now,
+        )
+
+    def on_crash(event) -> None:
+        crash: BrokerCrash = event.payload
+        gateway.crash_broker(crash.shard, now=sim.now)
+
+    def on_restart(event) -> None:
+        crash: BrokerCrash = event.payload
+        gateway.restart_broker(crash.shard, now=sim.now)
+
+    for request in sorted(requests, key=lambda r: (r.t_start, r.rid)):
+        sim.at(request.t_start, on_arrival, payload=request)
+    for fault in faults:
+        sim.at(fault.start, on_port_fault, payload=fault)
+    for crash in crashes:
+        # priority 1: a crash at time t strikes after the arrivals at t
+        # have been submitted but (batch permitting) before they decide.
+        sim.at(crash.at, on_crash, payload=crash, priority=1)
+        if crash.restart_at is not None:
+            sim.at(crash.restart_at, on_restart, payload=crash)
+    horizon = until if until is not None else float("inf")
+    sim.run(until=horizon)
+    gateway.drain(sim.now)
+    # The trailing drain can sample fresh mid-flight aborts; run them too.
+    sim.run(until=horizon)
     return report

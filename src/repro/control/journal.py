@@ -30,8 +30,24 @@ __all__ = ["Journal", "JournalEntry", "JOURNAL_FORMAT"]
 #: Format tag written to (and required in) every journal header.
 JOURNAL_FORMAT: str = "repro-journal/1"
 
-#: Operations a journal may contain, in the order the service defines them.
-_KNOWN_OPS = frozenset({"submit", "submit_striped", "cancel", "abort", "degrade"})
+#: Operations a journal may contain: the service's own, plus the
+#: gateway's ``gw_*`` family (see :meth:`repro.gateway.Gateway.replay`).
+_KNOWN_OPS = frozenset(
+    {
+        "submit",
+        "submit_striped",
+        "cancel",
+        "abort",
+        "degrade",
+        "gw_submit",
+        "gw_drain",
+        "gw_cancel",
+        "gw_abort",
+        "gw_degrade",
+        "gw_crash",
+        "gw_restart",
+    }
+)
 
 
 @dataclass(frozen=True, slots=True)

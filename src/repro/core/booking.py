@@ -18,20 +18,44 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from typing import Protocol, runtime_checkable
 
 from ..obs.telemetry import get_telemetry
 from .allocation import Allocation
 from .ledger import PortLedger
 from .request import Request
+from .timeline import BandwidthTimeline
 
 __all__ = [
     "FitProbe",
+    "LedgerView",
     "RejectReason",
     "earliest_fit",
     "book_earliest",
     "deadline_tolerance",
 ]
+
+
+@runtime_checkable
+class LedgerView(Protocol):
+    """The read surface the earliest-fit search needs from a ledger.
+
+    :class:`~repro.core.ledger.PortLedger` satisfies it natively; the
+    gateway's :class:`~repro.gateway.view.PairLedgerView` satisfies it by
+    stitching two shard brokers together.  Only queries — the search never
+    mutates; committing is :func:`book_earliest`'s (or a broker's) job.
+    """
+
+    def ingress_timeline(self, i: int) -> BandwidthTimeline: ...
+
+    def egress_timeline(self, e: int) -> BandwidthTimeline: ...
+
+    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]: ...
+
+    def free_capacity(self, side: str, port: int, t0: float, t1: float) -> float: ...
+
+    def fits(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> bool: ...
 
 
 class RejectReason(enum.Enum):
@@ -47,13 +71,17 @@ class RejectReason(enum.Enum):
       ``MaxRate`` (``t_end − t_start < vol / MaxRate``), e.g. after a
       re-admission clipped the window;
     - ``MINRATE_EXCEEDS_MAXRATE`` — at every candidate start the
-      deadline-implied rate exceeds what the policy/MaxRate can grant.
+      deadline-implied rate exceeds what the policy/MaxRate can grant;
+    - ``BROKER_UNAVAILABLE`` — a gateway-only outcome: a shard broker
+      owning one of the request's ports stayed down through the two-phase
+      retry budget (the monolithic service never emits it).
     """
 
     INGRESS_FULL = "ingress-full"
     EGRESS_FULL = "egress-full"
     WINDOW_INFEASIBLE = "window-infeasible"
     MINRATE_EXCEEDS_MAXRATE = "minrate-exceeds-maxrate"
+    BROKER_UNAVAILABLE = "broker-unavailable"
 
 
 @dataclass
@@ -98,7 +126,7 @@ def _min_rate_for(request: Request, sigma: float) -> float | None:
 
 
 def earliest_fit(
-    ledger: PortLedger,
+    ledger: LedgerView,
     request: Request,
     rate_for: Callable[[float], float | None] | None = None,
     *,

@@ -1,0 +1,342 @@
+"""One shard broker: authoritative owner of its ports' ledger slices.
+
+A :class:`ShardBroker` holds the usage and degradation timelines of every
+access point its shard owns (see :class:`~repro.gateway.sharding.ShardMap`)
+and is the **only** component allowed to mutate them — gridlint rule
+GL008 enforces the boundary.  All state a broker carries:
+
+- the owned ledger slices (committed bookings + registered degradations);
+- the **prepare-holds** of in-flight two-phase reservations — capacity
+  pinned on one side while the coordinator secures the other.  Holds are
+  volatile: a broker crash wipes them (the capacity returns), while
+  committed bookings survive, mirroring a write-ahead-logged store that
+  loses only its in-memory transaction table;
+- a cached per-port headroom index
+  (:class:`~repro.gateway.headroom.HeadroomIndex`), invalidated on every
+  mutation of a port's timeline;
+- a simulated-work counter (:attr:`work`) the gateway's cost model uses:
+  brokers conceptually run in parallel, so a batch's critical path is the
+  *maximum* work any one broker did for it, not the sum.
+
+The broker reuses :class:`~repro.core.ledger.PortLedger` for its slices —
+non-owned ports simply stay empty — so every capacity query (degradation
+handling included) is the battle-tested Eq. 1 implementation, not a fork.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from ..core.errors import ConfigurationError, ReproError
+from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
+from ..core.timeline import BandwidthTimeline
+from .headroom import HeadroomIndex
+from .sharding import ShardMap
+
+__all__ = ["BrokerUnavailable", "Hold", "ShardBroker"]
+
+
+class BrokerUnavailable(ReproError):
+    """The addressed shard broker is crashed and cannot serve the call."""
+
+
+@dataclass(frozen=True, slots=True)
+class Hold:
+    """Capacity pinned on one port by phase one of a two-phase reservation."""
+
+    hold_id: int
+    side: str
+    port: int
+    t0: float
+    t1: float
+    bw: float
+    rid: int
+    #: Absolute sim time at which an uncommitted hold self-releases — the
+    #: timeout-abort that keeps a crashed *coordinator* from stranding
+    #: capacity on a healthy broker.
+    expires: float
+
+
+class ShardBroker:
+    """Owns and serves the ledger slices of one shard's access points."""
+
+    def __init__(self, shard_id: int, shard_map: ShardMap) -> None:
+        self.shard_id = shard_id
+        self.platform = shard_map.platform
+        owned_in, owned_out = shard_map.ports_of(shard_id)
+        self._owned_ports: dict[str, frozenset[int]] = {
+            "ingress": frozenset(owned_in),
+            "egress": frozenset(owned_out),
+        }
+        self._owned_ledger = PortLedger(self.platform)
+        self._holds: dict[int, Hold] = {}
+        self._hold_ids = itertools.count()
+        self._degraded: set[tuple[str, int]] = set()
+        self.headroom = HeadroomIndex()
+        self.crashed = False
+        #: Simulated work units accrued (candidate scans, hold ops, sweeps).
+        self.work = 0.0
+        self.holds_expired = 0
+        self.holds_wiped = 0
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def owns(self, side: str, port: int) -> bool:
+        """Does this shard own ``port`` on ``side``?"""
+        owned = self._owned_ports.get(side)
+        if owned is None:
+            raise ConfigurationError(f"side must be 'ingress' or 'egress', got {side!r}")
+        return port in owned
+
+    def _require_owned(self, side: str, port: int) -> None:
+        if not self.owns(side, port):
+            raise ConfigurationError(
+                f"shard {self.shard_id} does not own {side} port {port}"
+            )
+
+    def _require_up(self) -> None:
+        if self.crashed:
+            raise BrokerUnavailable(f"shard broker {self.shard_id} is down")
+
+    def add_work(self, units: float) -> None:
+        """Account ``units`` of simulated work to this broker."""
+        self.work += units
+
+    # ------------------------------------------------------------------
+    # Read surface (safe from any module; GL008 only guards mutation)
+    # ------------------------------------------------------------------
+    def timeline(self, side: str, port: int) -> BandwidthTimeline:
+        """The usage timeline of an owned port (treat as read-only)."""
+        self._require_owned(side, port)
+        if side == "ingress":
+            return self._owned_ledger.ingress_timeline(port)
+        return self._owned_ledger.egress_timeline(port)
+
+    def free_capacity(self, side: str, port: int, t0: float, t1: float) -> float:
+        """Guaranteed free bandwidth on an owned port over ``[t0, t1)``."""
+        self._require_owned(side, port)
+        return self._owned_ledger.free_capacity(side, port, t0, t1)
+
+    def max_usage(self, side: str, port: int, t0: float, t1: float) -> float:
+        """Peak committed bandwidth on an owned port over ``[t0, t1)``."""
+        return self.timeline(side, port).max_usage(t0, t1)
+
+    def usage_at(self, side: str, port: int, t: float) -> float:
+        """Committed bandwidth on an owned port at time ``t``."""
+        return self.timeline(side, port).usage_at(t)
+
+    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]:
+        """Capacity-change instants of an owned port."""
+        self._require_owned(side, port)
+        return self._owned_ledger.degradation_breakpoints(side, port)
+
+    def has_degradations(self, side: str, port: int) -> bool:
+        """Has any capacity reduction been registered on the port?"""
+        self._require_owned(side, port)
+        return (side, port) in self._degraded
+
+    def overcommit_on(self, side: str, port: int, t0: float, t1: float) -> float:
+        """Worst ``usage − capacity`` on an owned port over ``[t0, t1)``."""
+        self._require_owned(side, port)
+        return self._owned_ledger.overcommit_on(side, port, t0, t1)
+
+    def max_overcommit(self) -> float:
+        """Worst overshoot across the owned ports (≤ 0 ⇔ shard is valid).
+
+        Non-owned ports of the underlying ledger are empty and contribute
+        only negative slack, so the full-ledger scan is the owned answer.
+        """
+        return self._owned_ledger.max_overcommit()
+
+    def cached_peak(self, side: str, port: int) -> float:
+        """The headroom index's peak usage for an owned port."""
+        return self.headroom.peak(side, port, self.timeline(side, port))
+
+    def fits_side(self, side: str, port: int, t0: float, t1: float, bw: float) -> bool:
+        """Would ``bw`` fit on this one port over all of ``[t0, t1)``?"""
+        self._require_owned(side, port)
+        cap = self._capacity(side, port)
+        slack = cap * CAPACITY_SLACK
+        if (side, port) not in self._degraded:
+            return self.max_usage(side, port, t0, t1) + bw <= cap + slack
+        return self.free_capacity(side, port, t0, t1) + slack >= bw
+
+    def _capacity(self, side: str, port: int) -> float:
+        return self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
+
+    def pair_fits(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> bool:
+        """Joint two-port fit when this shard owns *both* ports of a pair.
+
+        Delegates to the underlying :meth:`PortLedger.fits`, so a
+        shard-local admission answers exactly like the monolithic service
+        — the anchor of the single-shard equivalence guarantee.
+        """
+        self._require_owned("ingress", ingress)
+        self._require_owned("egress", egress)
+        return self._owned_ledger.fits(ingress, egress, t0, t1, bw)
+
+    # ------------------------------------------------------------------
+    # Mutation surface (the GL008-guarded owner of the slices)
+    # ------------------------------------------------------------------
+    def _timeline_add(self, side: str, port: int, t0: float, t1: float, delta: float) -> None:
+        """The single point through which a slice's usage ever changes."""
+        self.timeline(side, port).add(t0, t1, delta)
+        self.headroom.invalidate(side, port)
+
+    def book_pair(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> None:
+        """Atomically commit a shard-local pair booking (both ports owned).
+
+        This is the one-shard fast path: no holds, no second phase — the
+        underlying :meth:`PortLedger.allocate` capacity check covers both
+        ports at once, exactly like the monolithic service.
+        """
+        self._require_up()
+        self._require_owned("ingress", ingress)
+        self._require_owned("egress", egress)
+        self._owned_ledger.allocate(ingress, egress, t0, t1, bw)
+        self.headroom.invalidate("ingress", ingress)
+        self.headroom.invalidate("egress", egress)
+        self.add_work(1.0)
+
+    def release(self, side: str, port: int, t0: float, t1: float, bw: float) -> None:
+        """Return committed bandwidth on one owned port (cancel/abort path)."""
+        if bw < 0:
+            raise ConfigurationError(f"negative release {bw}")
+        self._timeline_add(side, port, t0, t1, -bw)
+        self.add_work(1.0)
+
+    def degrade(self, degradation: Degradation) -> None:
+        """Register a capacity reduction on an owned port."""
+        self._require_owned(degradation.side, degradation.port)
+        self._owned_ledger.degrade(degradation)
+        self._degraded.add((degradation.side, degradation.port))
+        self.headroom.invalidate(degradation.side, degradation.port)
+        self.add_work(1.0)
+
+    # ------------------------------------------------------------------
+    # Two-phase protocol: prepare / commit / abort / expire
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        side: str,
+        port: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        rid: int,
+        expires: float,
+    ) -> Hold | None:
+        """Phase one: pin ``bw`` on one owned port, or refuse.
+
+        Raises :class:`BrokerUnavailable` when the broker is crashed;
+        returns ``None`` when the port cannot carry the hold (the
+        coordinator then aborts the transaction).  A granted hold is
+        booked into the slice immediately, so concurrent searches see the
+        pinned capacity.
+        """
+        self._require_up()
+        self.add_work(1.0)
+        if not self.fits_side(side, port, t0, t1, bw):
+            return None
+        hold = Hold(
+            hold_id=next(self._hold_ids),
+            side=side,
+            port=port,
+            t0=t0,
+            t1=t1,
+            bw=bw,
+            rid=rid,
+            expires=expires,
+        )
+        self._timeline_add(side, port, t0, t1, bw)
+        self._holds[hold.hold_id] = hold
+        return hold
+
+    def commit(self, hold_id: int) -> None:
+        """Phase two: the hold's capacity becomes a committed booking."""
+        self._require_up()
+        hold = self._holds.pop(hold_id, None)
+        if hold is None:
+            raise ConfigurationError(f"no hold {hold_id} on shard {self.shard_id}")
+        # The capacity is already in the timeline; dropping the hold record
+        # is what makes it permanent (crash no longer releases it).
+        self.add_work(1.0)
+
+    def abort_hold(self, hold_id: int) -> bool:
+        """Release one hold; True when it existed and its capacity returned.
+
+        Deliberately callable on a crashed broker: aborting is how the
+        coordinator *cleans up*, and a crash has already wiped the hold —
+        the call then just reports ``False``.
+        """
+        hold = self._holds.pop(hold_id, None)
+        if hold is None:
+            return False
+        self._timeline_add(hold.side, hold.port, hold.t0, hold.t1, -hold.bw)
+        self.add_work(1.0)
+        return True
+
+    def expire_holds(self, now: float) -> list[Hold]:
+        """Timeout-abort every hold whose ``expires`` has passed."""
+        scanned = len(self._holds)
+        if scanned:
+            self.add_work(float(scanned))
+        expired = [h for h in self._holds.values() if h.expires <= now]
+        for hold in expired:
+            self.abort_hold(hold.hold_id)
+        self.holds_expired += len(expired)
+        return expired
+
+    def holds(self) -> list[Hold]:
+        """The live (uncommitted) holds, in grant order."""
+        return [self._holds[k] for k in sorted(self._holds)]
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> int:
+        """Kill the broker: volatile holds vanish, committed state survives.
+
+        Returns the number of holds wiped.  Capacity pinned by the wiped
+        holds returns to the slices immediately — the other half of each
+        in-flight transaction is the coordinator's to abort.
+        """
+        wiped = list(self._holds.values())
+        for hold in wiped:
+            self.abort_hold(hold.hold_id)
+        self.holds_wiped += len(wiped)
+        self.crashed = True
+        return len(wiped)
+
+    def restart(self) -> None:
+        """Bring a crashed broker back (state = committed bookings only)."""
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Canonical JSON-able digest of the shard's authoritative state."""
+        slices: dict[str, dict[str, list]] = {"ingress": {}, "egress": {}}
+        for side in ("ingress", "egress"):
+            for port in sorted(self._owned_ports[side]):
+                slices[side][str(port)] = list(self.timeline(side, port).segments())
+        return {
+            "shard": self.shard_id,
+            "crashed": self.crashed,
+            "slices": slices,
+            "holds": [
+                {
+                    "side": h.side,
+                    "port": h.port,
+                    "t0": h.t0,
+                    "t1": h.t1,
+                    "bw": h.bw,
+                    "rid": h.rid,
+                    "expires": h.expires,
+                }
+                for h in self.holds()
+            ],
+        }

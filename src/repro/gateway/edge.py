@@ -1,0 +1,75 @@
+"""Per-client token-bucket backpressure at the gateway edge.
+
+The paper's deployment pairs admission with client-side token-bucket
+enforcement (§5.4); the gateway reuses the same primitive
+(:class:`~repro.control.token_bucket.TokenBucket`) one layer earlier, as
+*submission* backpressure: each client may ask for at most ``burst`` MB
+at once and ``rate`` MB/s sustained.  A submission whose volume does not
+conform is refused at the edge — it never reaches a batch, never runs a
+search, and is counted in the ``gateway_edge_refusals_total`` metric.
+
+Refusal is deterministic: buckets are per-client, fed the gateway's
+forward-only clock, and hold no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..control.token_bucket import TokenBucket
+from ..core.errors import ConfigurationError
+
+__all__ = ["EdgeLimit", "EdgeLimiter"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeLimit:
+    """Edge policy: per-client sustained ``rate`` (MB/s) and ``burst`` (MB)."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ConfigurationError(
+                f"edge limit needs positive rate and burst, got ({self.rate}, {self.burst})"
+            )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form (journal header)."""
+        return {"rate": self.rate, "burst": self.burst}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> EdgeLimit:
+        """Inverse of :meth:`to_dict`."""
+        return cls(rate=float(data["rate"]), burst=float(data["burst"]))
+
+
+class EdgeLimiter:
+    """Lazily-created per-client token buckets enforcing an :class:`EdgeLimit`."""
+
+    __slots__ = ("limit", "_buckets", "refused", "admitted")
+
+    def __init__(self, limit: EdgeLimit) -> None:
+        self.limit = limit
+        self._buckets: dict[str, TokenBucket] = {}
+        self.refused = 0
+        self.admitted = 0
+
+    def admit(self, client: str, volume: float, now: float) -> bool:
+        """Offer one submission's volume to the client's bucket."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.limit.rate, burst=self.limit.burst)
+            bucket.reset(now)
+            self._buckets[client] = bucket
+        if bucket.offer(now, volume):
+            self.admitted += 1
+            return True
+        self.refused += 1
+        return False
+
+    def clients(self) -> list[str]:
+        """Every client seen so far (deterministic order)."""
+        return sorted(self._buckets)

@@ -1,0 +1,800 @@
+"""The client-facing admission gateway: batched, sharded, journaled.
+
+:class:`Gateway` offers the :class:`~repro.control.service.ReservationService`
+surface — submit / cancel / abort / degrade, with journaling and crash
+:meth:`Gateway.replay` — but serves it through the sharded pipeline:
+
+1. the **edge** (optional per-client token bucket) refuses out-of-quota
+   submissions before they cost any admission work;
+2. the **batcher** coalesces submissions arriving at the same simulated
+   instant, up to ``batch_size``, releasing them in the configured order
+   (FIFO / min-laxity / max-value);
+3. the **coordinator** admits each batched request against the owning
+   shard brokers — shard-local pairs atomically, cross-shard pairs
+   through the two-phase prepare/commit protocol.
+
+Determinism: the gateway clock only moves forward; a pending batch is
+force-flushed *before* the clock advances (a batch never mixes
+instants), and every externally-triggered state change — submission,
+explicit drain, cancel, abort, degradation, broker crash/restart — is
+journaled, so :meth:`replay` rebuilds a state-identical gateway
+(``snapshot()`` equality, mirroring the service's recovery contract).
+
+With ``num_shards=1`` and ``batch_size=1`` every admission is a
+shard-local booking decided immediately in submission order against one
+authoritative ledger: decision-for-decision the monolithic service (the
+equivalence property tests hold the gateway to this).
+
+The gateway also maintains a **simulated cost model** for the benchmark:
+brokers conceptually run in parallel, so each flush contributes its
+coordinator overhead plus the *maximum* work any broker did for the
+batch; :attr:`Gateway.simulated_cost` is the accumulated critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..control.journal import Journal
+from ..control.service import Reservation, ReservationState
+from ..core.errors import ConfigurationError, InternalInvariantError
+from ..core.ledger import CAPACITY_SLACK, Degradation
+from ..core.platform import Platform
+from ..core.request import Request
+from ..obs.telemetry import Telemetry, get_telemetry
+from ..schedulers.policies import BandwidthPolicy, MinRatePolicy, policy_from_name
+from ..schedulers.retry import BackoffSchedule
+from .batch import AdmissionOrdering, Batcher, PendingAdmission
+from .edge import EdgeLimit, EdgeLimiter
+from .sharding import ShardMap
+from .broker import ShardBroker
+from .twophase import TwoPhaseCoordinator
+
+__all__ = ["Gateway", "GatewayStats", "Ticket"]
+
+#: Simulated coordinator cost per flush and per batched request — the
+#: serial fraction of the pipeline in the cost model.
+FLUSH_OVERHEAD = 1.0
+PER_REQUEST_OVERHEAD = 0.25
+
+
+@dataclass
+class GatewayStats:
+    """Counters a gateway accumulates (all deterministic)."""
+
+    submits: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    edge_refused: int = 0
+    batches: int = 0
+    local: int = 0
+    cross_shard: int = 0
+    fastpath_hits: int = 0
+    prepare_retries: int = 0
+    retry_delay_total: float = 0.0
+    twophase_aborts: int = 0
+    holds_expired: int = 0
+    cancelled: int = 0
+    aborted: int = 0
+    degradations: int = 0
+    displaced: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form (snapshot / reports)."""
+        return dict(vars(self))
+
+
+@dataclass
+class Ticket:
+    """A client's handle on one submission, pending until its batch flushes."""
+
+    seq: int
+    client: str
+    request: Request
+    #: Refused by the per-client edge limiter (never entered a batch).
+    edge_refused: bool = False
+    #: The admission decision; ``None`` while the batch is still open.
+    reservation: Reservation | None = None
+    origin: int | None = None
+
+    @property
+    def decided(self) -> bool:
+        """Has the batch containing this submission been flushed?"""
+        return self.edge_refused or self.reservation is not None
+
+    @property
+    def rid(self) -> int:
+        """The reservation id assigned at submission."""
+        return self.request.rid
+
+
+class Gateway:
+    """Sharded, batched admission gateway over one platform.
+
+    Parameters
+    ----------
+    platform:
+        Port capacities (shared, read-only).
+    num_shards:
+        Shard broker count; ports are assigned round-robin.
+    batch_size:
+        Admissions per batch; ``1`` decides every submission immediately.
+    ordering:
+        Intra-batch admission order (``fifo`` / ``min-laxity`` / ``max-value``).
+    policy:
+        Bandwidth assignment policy (default: deadline-implied minimum rate).
+    edge:
+        Optional per-client token-bucket limit applied before batching.
+    hold_ttl:
+        Seconds an uncommitted two-phase hold survives before brokers
+        timeout-abort it.
+    backoff:
+        Retry schedule for two-phase calls against a crashed broker
+        (default: 3 attempts, 5 s base, no jitter — deterministic).
+    journal / telemetry:
+        As on :class:`~repro.control.service.ReservationService`.
+    on_decision:
+        Callback ``(reservation, now)`` invoked for every flushed
+        decision — the fault drill uses it to sample mid-flight aborts.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        num_shards: int = 1,
+        batch_size: int = 1,
+        ordering: str | AdmissionOrdering = AdmissionOrdering.FIFO,
+        policy: BandwidthPolicy | None = None,
+        edge: EdgeLimit | None = None,
+        hold_ttl: float = 300.0,
+        backoff: BackoffSchedule | None = None,
+        journal: Journal | None = None,
+        telemetry: Telemetry | None = None,
+        on_decision=None,
+    ) -> None:
+        if hold_ttl <= 0:
+            raise ConfigurationError(f"hold_ttl must be positive, got {hold_ttl}")
+        self.platform = platform
+        self.shard_map = ShardMap(platform, num_shards)
+        self.brokers = [ShardBroker(s, self.shard_map) for s in range(num_shards)]
+        self.policy = policy or MinRatePolicy()
+        self.backoff = backoff if backoff is not None else BackoffSchedule(
+            base=5.0, multiplier=2.0, max_attempts=3
+        )
+        self.coordinator = TwoPhaseCoordinator(
+            self.brokers, self.shard_map, backoff=self.backoff, hold_ttl=hold_ttl
+        )
+        self.batcher = Batcher(batch_size, AdmissionOrdering.from_name(ordering))
+        self.edge = EdgeLimiter(edge) if edge is not None else None
+        self.hold_ttl = hold_ttl
+        self.stats = GatewayStats()
+        self.on_decision = on_decision
+        self.journal = journal
+        self._telemetry = telemetry
+        self._clock = float("-inf")
+        self._batch_opened = float("-inf")
+        self._next_seq = 0
+        self._next_rid = 0
+        self._reservations: dict[int, Reservation] = {}
+        self._tickets: dict[int, Ticket] = {}
+        self._degradations: list[Degradation] = []
+        #: Accumulated simulated critical-path cost (see module docstring).
+        self.simulated_cost = 0.0
+        if journal is not None:
+            journal.set_header(
+                {
+                    "kind": "gateway",
+                    "platform": platform.to_dict(),
+                    "num_shards": num_shards,
+                    "batch_size": batch_size,
+                    "ordering": self.batcher.ordering.value,
+                    "policy": self.policy.name,
+                    "hold_ttl": hold_ttl,
+                    "backoff": {
+                        "base": self.backoff.base,
+                        "multiplier": self.backoff.multiplier,
+                        "max_attempts": self.backoff.max_attempts,
+                        "jitter": self.backoff.jitter,
+                    },
+                    "edge": edge.to_dict() if edge is not None else None,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Last observed gateway time."""
+        return self._clock
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard brokers."""
+        return len(self.brokers)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The handle decisions are reported through (instance or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def _advance(self, now: float) -> None:
+        """Move the clock forward, flushing the previous instant's batch."""
+        if now < self._clock:
+            raise ConfigurationError(f"time went backwards: {now} < {self._clock}")
+        if now > self._clock and len(self.batcher):
+            self._flush(self._clock)
+        self._clock = now
+        expired = self.coordinator.expire_holds(now)
+        if expired:
+            self.stats.holds_expired += expired
+            tel = self.telemetry
+            if tel.enabled:
+                tel.metrics.counter(
+                    "gateway_holds_expired_total",
+                    "Two-phase holds timeout-aborted by the brokers' expiry sweep.",
+                ).inc(float(expired))
+
+    def _take_rid(self) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        return rid
+
+    def _record(self, op: str, now: float, **args: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(op, now, **args)
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        *,
+        ingress: int,
+        egress: int,
+        volume: float,
+        deadline: float,
+        now: float,
+        max_rate: float | None = None,
+        client: str = "default",
+        origin: int | None = None,
+    ) -> Ticket:
+        """Enqueue a transfer; the decision lands when its batch flushes.
+
+        With ``batch_size=1`` the batch flushes inside this call and the
+        returned ticket is already decided.  ``origin`` links a rebooking
+        to the reservation it replaces, as on the service.
+        """
+        self._advance(now)
+        if max_rate is None:
+            max_rate = self.platform.bottleneck(ingress, egress)
+        if origin is not None and origin not in self._reservations:
+            raise KeyError(f"unknown origin reservation {origin}")
+        rid = self._take_rid()
+        # Structural validation happens in the Request constructor and
+        # propagates as InvalidRequestError (malformed, not rejected) —
+        # nothing is journaled for a submission that never existed.
+        request = Request(
+            rid=rid,
+            ingress=ingress,
+            egress=egress,
+            volume=volume,
+            t_start=now,
+            t_end=deadline,
+            max_rate=max_rate,
+        )
+        seq = self._next_seq
+        self._next_seq += 1
+        ticket = Ticket(seq=seq, client=client, request=request, origin=origin)
+        self._tickets[rid] = ticket
+        self._record(
+            "gw_submit",
+            now,
+            client=client,
+            ingress=ingress,
+            egress=egress,
+            volume=volume,
+            deadline=deadline,
+            max_rate=max_rate,
+            origin=origin,
+        )
+        self.stats.submits += 1
+        if self.edge is not None and not self.edge.admit(client, volume, now):
+            ticket.edge_refused = True
+            self.stats.edge_refused += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.metrics.counter(
+                    "gateway_edge_refusals_total",
+                    "Submissions refused by the per-client edge token bucket.",
+                ).inc(client=client)
+                tel.emit(
+                    "gateway.edge_refusal", now, rid=rid, client=client, volume=volume
+                )
+            return ticket
+        if not len(self.batcher):
+            self._batch_opened = now
+        self.batcher.enqueue(PendingAdmission(seq=seq, ticket=ticket))
+        if self.batcher.full:
+            self._flush(now)
+        return ticket
+
+    def drain(self, now: float | None = None) -> None:
+        """Force the open batch to decide now (journaled — order matters)."""
+        at = self._clock if now is None else now
+        self._advance(at)
+        self._record("gw_drain", at)
+        self._flush(at)
+
+    def _flush(self, now: float) -> None:
+        """Decide every pending admission of the open batch, in batch order."""
+        batch = self.batcher.drain(now)
+        if not batch:
+            return
+        work_before = [broker.work for broker in self.brokers]
+        for pending in batch:
+            self._decide(pending.ticket, now)
+        deltas = [b.work - w0 for b, w0 in zip(self.brokers, work_before)]
+        self.simulated_cost += (
+            FLUSH_OVERHEAD + PER_REQUEST_OVERHEAD * len(batch) + max(deltas)
+        )
+        self.stats.batches += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "gateway_batches_total", "Admission batches flushed, by ordering."
+            ).inc(ordering=self.batcher.ordering.value)
+            tel.metrics.histogram(
+                "gateway_batch_occupancy", "Requests per flushed batch."
+            ).observe(float(len(batch)))
+            tel.tracer.complete(
+                "gateway.batch",
+                self._batch_opened,
+                now,
+                cat="gateway",
+                size=len(batch),
+                ordering=self.batcher.ordering.value,
+            )
+            tel.emit(
+                "gateway.batch",
+                now,
+                size=len(batch),
+                ordering=self.batcher.ordering.value,
+                critical_path=max(deltas),
+            )
+
+    def _decide(self, ticket: Ticket, now: float) -> None:
+        """Run one admission through the coordinator; publish the outcome."""
+        request = ticket.request
+        outcome = self.coordinator.reserve(
+            request, lambda sigma: self.policy.assign(request, sigma), now
+        )
+        reservation = Reservation(
+            rid=request.rid,
+            request=request,
+            allocation=outcome.allocation,
+            origin=ticket.origin,
+            reject_reason=outcome.probe.reason,
+        )
+        self._reservations[request.rid] = reservation
+        ticket.reservation = reservation
+        if outcome.local:
+            self.stats.local += 1
+        else:
+            self.stats.cross_shard += 1
+        if outcome.fastpath:
+            self.stats.fastpath_hits += 1
+        self.stats.prepare_retries += outcome.retries
+        self.stats.retry_delay_total += outcome.retry_delay
+        if outcome.aborted:
+            self.stats.twophase_aborts += 1
+        if outcome.allocation is not None:
+            self.stats.accepted += 1
+        else:
+            self.stats.rejected += 1
+        self._observe_decision(reservation, outcome, now)
+        if self.on_decision is not None:
+            self.on_decision(reservation, now)
+
+    def _observe_decision(self, reservation: Reservation, outcome, now: float) -> None:
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        alloc = reservation.allocation
+        decided = "accepted" if alloc is not None else "rejected"
+        tel.metrics.counter(
+            "gateway_submits_total", "Gateway admissions by outcome."
+        ).inc(outcome=decided)
+        tel.metrics.counter(
+            "gateway_admissions_total", "Gateway admissions by placement path."
+        ).inc(path="local" if outcome.local else "cross-shard")
+        tel.metrics.counter(
+            "gateway_fastpath_total", "Headroom-index fast-path answers."
+        ).inc(outcome="hit" if outcome.fastpath else "miss")
+        if outcome.retries:
+            tel.metrics.counter(
+                "gateway_prepare_retries_total",
+                "Two-phase attempts burned on crashed brokers.",
+            ).inc(float(outcome.retries))
+        if outcome.aborted:
+            tel.metrics.counter(
+                "gateway_twophase_aborts_total",
+                "Two-phase transactions rolled back with holds released.",
+            ).inc()
+        fields: dict[str, Any] = {
+            "rid": reservation.rid,
+            "ingress": reservation.request.ingress,
+            "egress": reservation.request.egress,
+            "volume": reservation.request.volume,
+            "deadline": reservation.request.t_end,
+            "outcome": decided,
+            "path": "local" if outcome.local else "cross-shard",
+            "fastpath": outcome.fastpath,
+            "candidates": outcome.probe.candidates,
+        }
+        if alloc is not None:
+            fields.update(sigma=alloc.sigma, tau=alloc.tau, bw=alloc.bw)
+        else:
+            reason = (
+                outcome.probe.reason.value
+                if outcome.probe.reason is not None
+                else "unspecified"
+            )
+            fields["reason"] = reason
+            tel.metrics.counter(
+                "gateway_rejects_total", "Gateway rejections by reason."
+            ).inc(reason=reason)
+        tel.emit("gateway.submit", now, **fields)
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations (mirroring the monolithic service)
+    # ------------------------------------------------------------------
+    def cancel(self, rid: int, *, now: float) -> bool:
+        """Cancel a reservation; the unconsumed tail returns to its shards."""
+        self._advance(now)
+        self._flush(self._clock)
+        reservation = self._require_reservation(rid)
+        self._record("gw_cancel", now, rid=rid)
+        released = False
+        if reservation.state(now) in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+            self._release_tail(reservation, now)
+            reservation.cancelled_at = now
+            self.stats.cancelled += 1
+            released = True
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("gateway_cancels_total", "Cancellations by effect.").inc(
+                released=str(released).lower()
+            )
+            tel.emit("gateway.cancel", now, rid=rid, released=released)
+        return released
+
+    def abort(self, rid: int, *, now: float) -> bool:
+        """A transfer died mid-flight; free its tail on both shards."""
+        self._advance(now)
+        self._flush(self._clock)
+        reservation = self._require_reservation(rid)
+        self._record("gw_abort", now, rid=rid)
+        if reservation.state(now) not in (
+            ReservationState.CONFIRMED,
+            ReservationState.ACTIVE,
+        ):
+            return False
+        self._release_tail(reservation, now)
+        reservation.aborted_at = now
+        self.stats.aborted += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("gateway_aborts_total", "Mid-flight transfer aborts.").inc()
+            tel.emit("gateway.abort", now, rid=rid, wasted=reservation.carried)
+        return True
+
+    def degrade(
+        self,
+        *,
+        side: str,
+        port: int,
+        amount: float,
+        start: float,
+        end: float,
+        now: float,
+    ) -> list[Reservation]:
+        """Apply a capacity reduction on the owning shard; displace overflow.
+
+        Victim selection mirrors the service: latest-starting live
+        reservations on the port yield first, until the shard's slice fits
+        under the remaining capacity again.
+        """
+        self._advance(now)
+        self._flush(self._clock)
+        degradation = Degradation(side=side, port=port, t0=start, t1=end, amount=amount)
+        broker = self.coordinator.broker_for(side, port)
+        broker.degrade(degradation)
+        self._degradations.append(degradation)
+        self.stats.degradations += 1
+        self._record(
+            "gw_degrade", now, side=side, port=port, amount=amount, start=start, end=end
+        )
+        displaced: list[Reservation] = []
+        cap = self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
+        tol = CAPACITY_SLACK * max(1.0, cap)
+        while broker.overcommit_on(side, port, start, end) > tol:
+            victim = self._displacement_victim(side, port, start, end, now)
+            if victim is None:
+                break  # remaining overcommit is not ours to resolve
+            self._release_tail(victim, now)
+            victim.displaced_at = now
+            self.stats.displaced += 1
+            displaced.append(victim)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "gateway_degrades_total", "Capacity degradations applied, by side."
+            ).inc(side=side)
+            if displaced:
+                tel.metrics.counter(
+                    "gateway_displacements_total",
+                    "Reservations displaced by degradations.",
+                ).inc(float(len(displaced)))
+            tel.emit(
+                "gateway.degrade",
+                now,
+                side=side,
+                port=port,
+                amount=amount,
+                start=start,
+                end=end,
+                displaced=[r.rid for r in displaced],
+            )
+        return displaced
+
+    def _displacement_victim(
+        self, side: str, port: int, start: float, end: float, now: float
+    ) -> Reservation | None:
+        """Latest-starting live reservation using the port inside the window."""
+        best: Reservation | None = None
+        for reservation in self._reservations.values():
+            if reservation.state(now) not in (
+                ReservationState.CONFIRMED,
+                ReservationState.ACTIVE,
+            ):
+                continue
+            alloc = reservation.allocation
+            if alloc is None:
+                continue
+            on_port = alloc.ingress == port if side == "ingress" else alloc.egress == port
+            if not on_port:
+                continue
+            live_from = max(now, alloc.sigma)
+            if live_from >= end or alloc.tau <= start:
+                continue
+            if best is None or best.allocation is None or (
+                alloc.sigma,
+                reservation.rid,
+            ) > (best.allocation.sigma, best.rid):
+                best = reservation
+        return best
+
+    def _release_tail(self, reservation: Reservation, now: float) -> float:
+        """Return the unconsumed part of a live allocation to its shards."""
+        alloc = reservation.allocation
+        if alloc is None:
+            raise InternalInvariantError(
+                f"reservation {reservation.rid} is live but carries no allocation"
+            )
+        release_from = max(now, alloc.sigma)
+        if release_from >= alloc.tau:
+            return 0.0
+        self.coordinator.release_pair(
+            alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw
+        )
+        return alloc.bw * (alloc.tau - release_from)
+
+    def _require_reservation(self, rid: int) -> Reservation:
+        reservation = self._reservations.get(rid)
+        if reservation is None:
+            raise KeyError(f"unknown reservation {rid}")
+        return reservation
+
+    # ------------------------------------------------------------------
+    # Broker faults
+    # ------------------------------------------------------------------
+    def crash_broker(self, shard: int, *, now: float) -> int:
+        """Kill one shard broker; its volatile holds are wiped (capacity
+        returns) and two-phase calls against it fail until restart.
+
+        Deliberately does *not* flush the open batch: submissions pending
+        at the crash instant face the crashed broker when their batch
+        decides — the mid-prepare abort path the drills exercise.
+        """
+        self._advance(now)
+        broker = self._broker(shard)
+        wiped = broker.crash()
+        self.stats.crashes += 1
+        self._record("gw_crash", now, shard=shard)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "gateway_broker_crashes_total", "Shard broker crashes injected."
+            ).inc(shard=shard)
+            tel.emit("gateway.crash", now, shard=shard, holds_wiped=wiped)
+        return wiped
+
+    def restart_broker(self, shard: int, *, now: float) -> None:
+        """Bring a crashed broker back (committed slices intact, holds gone)."""
+        self._advance(now)
+        self._broker(shard).restart()
+        self.stats.restarts += 1
+        self._record("gw_restart", now, shard=shard)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.emit("gateway.restart", now, shard=shard)
+
+    def _broker(self, shard: int) -> ShardBroker:
+        if not (0 <= shard < len(self.brokers)):
+            raise ConfigurationError(f"no shard {shard} (have {len(self.brokers)})")
+        return self.brokers[shard]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def get(self, rid: int) -> Ticket:
+        """Look up a submission's ticket by reservation id."""
+        try:
+            return self._tickets[rid]
+        except KeyError:
+            raise KeyError(f"unknown reservation {rid}") from None
+
+    def reservations(self) -> list[Reservation]:
+        """All decided reservations, in submission order."""
+        return [self._reservations[rid] for rid in sorted(self._reservations)]
+
+    def pending(self) -> int:
+        """Submissions waiting in the open batch."""
+        return len(self.batcher)
+
+    def degradations(self) -> list[Degradation]:
+        """Every capacity degradation applied so far, in order."""
+        return list(self._degradations)
+
+    def max_overcommit(self) -> float:
+        """Worst ``usage − capacity`` across every shard (≤ 0 ⇔ valid)."""
+        return max(broker.max_overcommit() for broker in self.brokers)
+
+    def port_usage(self, t: float) -> tuple[list[float], list[float]]:
+        """Committed bandwidth per (ingress, egress) port at time ``t``."""
+        ins = [
+            self.coordinator.broker_for("ingress", i).usage_at("ingress", i, t)
+            for i in range(self.platform.num_ingress)
+        ]
+        outs = [
+            self.coordinator.broker_for("egress", e).usage_at("egress", e, t)
+            for e in range(self.platform.num_egress)
+        ]
+        return ins, outs
+
+    def throughput(self) -> float:
+        """Decided admissions per simulated cost unit (the bench metric)."""
+        decided = self.stats.accepted + self.stats.rejected
+        if self.simulated_cost <= 0:
+            return 0.0
+        return decided / self.simulated_cost
+
+    def work_report(self) -> dict[str, Any]:
+        """Cost-model digest: per-broker work and the critical-path total."""
+        return {
+            "per_broker": [broker.work for broker in self.brokers],
+            "simulated_cost": self.simulated_cost,
+            "batches": self.stats.batches,
+            "headroom": [broker.headroom.stats for broker in self.brokers],
+        }
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical, JSON-able digest of the full gateway state.
+
+        Two gateways are state-identical iff their snapshots compare
+        equal; the replay tests rely on this.
+        """
+        reservations = []
+        for rid in sorted(self._reservations):
+            r = self._reservations[rid]
+            reservations.append(
+                {
+                    "rid": r.rid,
+                    "request": r.request.to_dict(),
+                    "allocation": r.allocation.to_dict() if r.allocation else None,
+                    "cancelled_at": r.cancelled_at,
+                    "aborted_at": r.aborted_at,
+                    "displaced_at": r.displaced_at,
+                    "origin": r.origin,
+                    "reject_reason": r.reject_reason.value if r.reject_reason else None,
+                }
+            )
+        return {
+            "clock": self._clock,
+            "next_rid": self._next_rid,
+            "pending": [p.seq for p in self.batcher._pending],
+            "reservations": reservations,
+            "edge_refused": sorted(
+                rid for rid, t in self._tickets.items() if t.edge_refused
+            ),
+            "shards": [broker.snapshot() for broker in self.brokers],
+            "degradations": [d.to_dict() for d in self._degradations],
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def replay(cls, journal: Journal) -> Gateway:
+        """Rebuild a gateway from its operation journal.
+
+        The header supplies the configuration; the recorded operations are
+        re-applied in order.  Batch flushes triggered by batch-full and
+        clock-advance recur identically (they are functions of the op
+        stream), and explicit drains are journaled, so the rebuilt gateway
+        is state-identical (``snapshot()`` equality).
+        """
+        header = journal.header
+        if not header:
+            raise ConfigurationError("journal has no header; cannot replay")
+        if header.get("kind") != "gateway":
+            raise ConfigurationError(
+                f"not a gateway journal (kind: {header.get('kind')!r})"
+            )
+        backoff_cfg = header.get("backoff") or {}
+        edge_cfg = header.get("edge")
+        gateway = cls(
+            Platform.from_dict(header["platform"]),
+            num_shards=int(header.get("num_shards", 1)),
+            batch_size=int(header.get("batch_size", 1)),
+            ordering=str(header.get("ordering", "fifo")),
+            policy=policy_from_name(header.get("policy", "min-bw")),
+            edge=EdgeLimit.from_dict(edge_cfg) if edge_cfg is not None else None,
+            hold_ttl=float(header.get("hold_ttl", 300.0)),
+            backoff=BackoffSchedule(
+                base=float(backoff_cfg.get("base", 5.0)),
+                multiplier=float(backoff_cfg.get("multiplier", 2.0)),
+                max_attempts=int(backoff_cfg.get("max_attempts", 3)),
+                jitter=float(backoff_cfg.get("jitter", 0.0)),
+            ),
+            journal=None,
+        )
+        for entry in journal:
+            args = dict(entry.args)
+            if entry.op == "gw_submit":
+                gateway.submit(
+                    ingress=int(args["ingress"]),
+                    egress=int(args["egress"]),
+                    volume=float(args["volume"]),
+                    deadline=float(args["deadline"]),
+                    now=entry.now,
+                    max_rate=args.get("max_rate"),
+                    client=str(args.get("client", "default")),
+                    origin=args.get("origin"),
+                )
+            elif entry.op == "gw_drain":
+                gateway.drain(entry.now)
+            elif entry.op == "gw_cancel":
+                gateway.cancel(int(args["rid"]), now=entry.now)
+            elif entry.op == "gw_abort":
+                gateway.abort(int(args["rid"]), now=entry.now)
+            elif entry.op == "gw_degrade":
+                gateway.degrade(
+                    side=str(args["side"]),
+                    port=int(args["port"]),
+                    amount=float(args["amount"]),
+                    start=float(args["start"]),
+                    end=float(args["end"]),
+                    now=entry.now,
+                )
+            elif entry.op == "gw_crash":
+                gateway.crash_broker(int(args["shard"]), now=entry.now)
+            elif entry.op == "gw_restart":
+                gateway.restart_broker(int(args["shard"]), now=entry.now)
+            else:  # pragma: no cover - Journal validates ops on construction
+                raise ConfigurationError(f"unknown gateway journal op {entry.op!r}")
+        return gateway

@@ -1,0 +1,73 @@
+"""Cached per-port headroom index for fast admission pre-checks.
+
+The earliest-fit search walks every usage breakpoint of both port
+timelines.  Most admissions on a lightly-loaded port don't need that: if
+the requested rate fits under ``capacity − peak_usage`` (the port's
+all-time committed peak), it fits *everywhere*, so the very first
+candidate start — the window opening — is feasible and is exactly what
+the full search would return.  :class:`HeadroomIndex` caches that peak
+per port; brokers invalidate the entry on every booking, hold, release,
+or degradation of the port, and recompute lazily on next read.
+
+The index is a pure accelerator: a hit must produce the identical
+decision the full search would (the single-shard equivalence tests hold
+the gateway to this), so it only answers on ports with **no registered
+degradations** — time-varying capacity voids the "peak bounds every
+window" argument.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InternalInvariantError
+from ..core.timeline import BandwidthTimeline
+
+__all__ = ["HeadroomIndex"]
+
+
+class HeadroomIndex:
+    """Lazily-recomputed peak committed usage per (side, port)."""
+
+    __slots__ = ("_peaks", "_hits", "_misses", "_invalidations")
+
+    def __init__(self) -> None:
+        self._peaks: dict[tuple[str, int], float] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    def peak(self, side: str, port: int, timeline: BandwidthTimeline) -> float:
+        """The cached all-time peak usage of ``port``; recomputed on miss."""
+        key = (side, port)
+        cached = self._peaks.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        peak = max(0.0, timeline.global_max())
+        self._peaks[key] = peak
+        return peak
+
+    def invalidate(self, side: str, port: int) -> None:
+        """Drop the cached peak after any mutation of the port's timeline."""
+        self._invalidations += 1
+        self._peaks.pop((side, port), None)
+
+    def verify_against(self, side: str, port: int, timeline: BandwidthTimeline) -> None:
+        """Assert the cached entry (if any) matches the timeline (test hook)."""
+        cached = self._peaks.get((side, port))
+        if cached is None:
+            return
+        actual = max(0.0, timeline.global_max())
+        if abs(cached - actual) > 1e-9 * max(1.0, actual):
+            raise InternalInvariantError(
+                f"stale headroom cache on {side} {port}: cached {cached}, actual {actual}"
+            )
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache effectiveness counters (hits / misses / invalidations)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "invalidations": self._invalidations,
+        }

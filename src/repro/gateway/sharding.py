@@ -1,0 +1,71 @@
+"""Partitioning of access points across shard brokers.
+
+Because every request touches exactly one ingress and one egress point and
+Eq. 1 constrains only per-port capacity, the admission state of the whole
+platform partitions cleanly: each port's timelines live on exactly one
+shard, and a request concerns at most two shards.  :class:`ShardMap` is
+the (deterministic, configuration-free) assignment both the gateway and
+the analysis tooling use.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from ..core.platform import Platform
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Deterministic round-robin assignment of ports to shards.
+
+    Ingress point ``i`` lives on shard ``i % num_shards`` and egress point
+    ``e`` on shard ``e % num_shards``.  Round-robin (rather than
+    contiguous ranges) spreads the low-numbered, typically hottest ports
+    of a workload across brokers.
+    """
+
+    __slots__ = ("platform", "num_shards")
+
+    def __init__(self, platform: Platform, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        max_ports = max(platform.num_ingress, platform.num_egress)
+        if num_shards > max_ports:
+            raise ConfigurationError(
+                f"{num_shards} shards over {max_ports} ports would leave empty shards"
+            )
+        self.platform = platform
+        self.num_shards = num_shards
+
+    def ingress_shard(self, i: int) -> int:
+        """Shard owning ingress point ``i``."""
+        if not (0 <= i < self.platform.num_ingress):
+            raise ConfigurationError(f"no ingress port {i} on this platform")
+        return i % self.num_shards
+
+    def egress_shard(self, e: int) -> int:
+        """Shard owning egress point ``e``."""
+        if not (0 <= e < self.platform.num_egress):
+            raise ConfigurationError(f"no egress port {e} on this platform")
+        return e % self.num_shards
+
+    def shard_of(self, side: str, port: int) -> int:
+        """Shard owning ``port`` on ``side`` ('ingress' | 'egress')."""
+        if side == "ingress":
+            return self.ingress_shard(port)
+        if side == "egress":
+            return self.egress_shard(port)
+        raise ConfigurationError(f"side must be 'ingress' or 'egress', got {side!r}")
+
+    def ports_of(self, shard: int) -> tuple[list[int], list[int]]:
+        """The (ingress, egress) port lists owned by ``shard``."""
+        if not (0 <= shard < self.num_shards):
+            raise ConfigurationError(f"no shard {shard} (have {self.num_shards})")
+        ins = [i for i in range(self.platform.num_ingress) if i % self.num_shards == shard]
+        outs = [e for e in range(self.platform.num_egress) if e % self.num_shards == shard]
+        return ins, outs
+
+    def is_local(self, ingress: int, egress: int) -> bool:
+        """True when both ports of a pair live on the same shard."""
+        return self.ingress_shard(ingress) == self.egress_shard(egress)

@@ -1,0 +1,297 @@
+"""Two-phase cross-shard reservation: prepare-hold → commit / abort.
+
+A request whose ingress and egress live on different shards must change
+two brokers' slices consistently.  The coordinator runs presumed-abort
+two-phase commit:
+
+1. **search** — earliest-fit over a :class:`~repro.gateway.view.PairLedgerView`
+   stitching the two authoritative slices (shard-local pairs skip the
+   protocol entirely and book atomically on their broker);
+2. **prepare** — pin the chosen rate on the ingress broker, then the
+   egress broker, as :class:`~repro.gateway.broker.Hold`\\ s with a TTL;
+3. **commit** — both holds become committed bookings; or **abort** —
+   every placed hold is released.
+
+Failure semantics (what the fault drills exercise):
+
+- a broker found down is retried per a
+  :class:`~repro.schedulers.retry.BackoffSchedule`; brokers stay down for
+  at least the rest of the simulated instant, so the budget exhausts
+  deterministically and the request is rejected ``broker-unavailable``
+  with every already-placed hold aborted;
+- a broker *crash* wipes its own (volatile) holds — capacity returns
+  instantly — and the coordinator aborts the surviving peer holds, so a
+  crashed peer never strands capacity;
+- a crashed **coordinator** is covered by the hold TTL: brokers
+  timeout-abort uncommitted holds in their expiry sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from ..core.allocation import Allocation
+from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
+from ..core.errors import InternalInvariantError
+from ..core.ledger import CAPACITY_SLACK
+from ..core.request import Request
+from ..schedulers.retry import BackoffSchedule
+from .broker import BrokerUnavailable, Hold, ShardBroker
+from .sharding import ShardMap
+from .view import PairLedgerView
+
+__all__ = ["TwoPhaseCoordinator", "TwoPhaseOutcome"]
+
+
+@dataclass
+class TwoPhaseOutcome:
+    """Everything one admission attempt produced, for stats and telemetry."""
+
+    allocation: Allocation | None
+    probe: FitProbe
+    #: Both ports on one shard (booked atomically, no protocol run).
+    local: bool = False
+    #: The cached headroom index answered without a full search.
+    fastpath: bool = False
+    #: Prepare/commit attempts burned on crashed brokers.
+    retries: int = 0
+    #: Simulated seconds of backoff the retries would have waited.
+    retry_delay: float = 0.0
+    #: A two-phase transaction was started and rolled back.
+    aborted: bool = False
+    holds: list[Hold] = field(default_factory=list)
+
+
+class TwoPhaseCoordinator:
+    """Admission coordinator over a fleet of shard brokers."""
+
+    def __init__(
+        self,
+        brokers: Sequence[ShardBroker],
+        shard_map: ShardMap,
+        *,
+        backoff: BackoffSchedule | None = None,
+        hold_ttl: float = 300.0,
+    ) -> None:
+        self.brokers = list(brokers)
+        self.shard_map = shard_map
+        self.backoff = backoff
+        self.hold_ttl = hold_ttl
+
+    # ------------------------------------------------------------------
+    def broker_for(self, side: str, port: int) -> ShardBroker:
+        """The broker owning ``port`` on ``side``."""
+        return self.brokers[self.shard_map.shard_of(side, port)]
+
+    def reserve(
+        self,
+        request: Request,
+        rate_for: Callable[[float], float | None],
+        now: float,
+    ) -> TwoPhaseOutcome:
+        """Admit one request: search, then place it consistently.
+
+        Returns a :class:`TwoPhaseOutcome`; ``outcome.allocation`` is
+        ``None`` on rejection with ``outcome.probe.reason`` set.
+        """
+        ingress_broker = self.broker_for("ingress", request.ingress)
+        egress_broker = self.broker_for("egress", request.egress)
+        probe = FitProbe()
+        outcome = TwoPhaseOutcome(allocation=None, probe=probe)
+        outcome.local = ingress_broker is egress_broker
+
+        allocation = self._fastpath(request, rate_for, ingress_broker, egress_broker, probe)
+        if allocation is not None:
+            outcome.fastpath = True
+        else:
+            if probe.reason is not None:
+                # The fast path already proved the window infeasible.
+                return outcome
+            view = PairLedgerView(
+                ingress_broker, egress_broker, request.ingress, request.egress
+            )
+            allocation = earliest_fit(view, request, rate_for, probe=probe)
+            ingress_broker.add_work(float(max(1, probe.candidates)))
+            egress_broker.add_work(float(max(1, probe.candidates)))
+        if allocation is None:
+            return outcome
+
+        if outcome.local:
+            self._place_local(ingress_broker, allocation, outcome, probe)
+        else:
+            self._place_two_phase(
+                ingress_broker, egress_broker, allocation, now, outcome, probe
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _fastpath(
+        self,
+        request: Request,
+        rate_for: Callable[[float], float | None],
+        ingress_broker: ShardBroker,
+        egress_broker: ShardBroker,
+        probe: FitProbe,
+    ) -> Allocation | None:
+        """Answer from the cached headroom index when it is conclusive.
+
+        A hit must be decision-identical to the full search: it only fires
+        on degradation-free ports where the chosen rate fits under
+        ``capacity − all-time peak`` on both sides — then the window
+        opening (the search's first candidate) is feasible and is exactly
+        what the full search would return.
+        """
+        earliest = request.t_start
+        latest = request.t_end - request.min_duration
+        if latest < earliest:
+            probe.reason = RejectReason.WINDOW_INFEASIBLE
+            return None
+        if ingress_broker.has_degradations(
+            "ingress", request.ingress
+        ) or egress_broker.has_degradations("egress", request.egress):
+            return None
+        bw = rate_for(earliest)
+        if bw is None or bw <= 0:
+            return None
+        tau = earliest + request.volume / bw
+        if tau > request.t_end + deadline_tolerance(request.t_end):
+            return None
+        platform = ingress_broker.platform
+        cap_in = platform.bin(request.ingress)
+        cap_out = platform.bout(request.egress)
+        in_peak = ingress_broker.cached_peak("ingress", request.ingress)
+        out_peak = egress_broker.cached_peak("egress", request.egress)
+        if in_peak + bw > cap_in + cap_in * CAPACITY_SLACK:
+            return None
+        if out_peak + bw > cap_out + cap_out * CAPACITY_SLACK:
+            return None
+        probe.candidates = 1
+        ingress_broker.add_work(1.0)
+        egress_broker.add_work(1.0)
+        return Allocation.for_request(request, bw, sigma=earliest)
+
+    # ------------------------------------------------------------------
+    def _place_local(
+        self,
+        broker: ShardBroker,
+        allocation: Allocation,
+        outcome: TwoPhaseOutcome,
+        probe: FitProbe,
+    ) -> None:
+        """Shard-local placement: one atomic pair booking, no protocol."""
+        try:
+            self._with_retry(
+                lambda: broker.book_pair(
+                    allocation.ingress,
+                    allocation.egress,
+                    allocation.sigma,
+                    allocation.tau,
+                    allocation.bw,
+                ),
+                outcome,
+            )
+        except BrokerUnavailable:
+            probe.reason = RejectReason.BROKER_UNAVAILABLE
+            return
+        outcome.allocation = allocation
+
+    def _place_two_phase(
+        self,
+        ingress_broker: ShardBroker,
+        egress_broker: ShardBroker,
+        allocation: Allocation,
+        now: float,
+        outcome: TwoPhaseOutcome,
+        probe: FitProbe,
+    ) -> None:
+        """Cross-shard placement: prepare both holds, then commit both."""
+        expires = now + self.hold_ttl
+        plan = (
+            (ingress_broker, "ingress", allocation.ingress, RejectReason.INGRESS_FULL),
+            (egress_broker, "egress", allocation.egress, RejectReason.EGRESS_FULL),
+        )
+        placed: list[tuple[ShardBroker, Hold]] = []
+        for broker, side, port, full_reason in plan:
+            try:
+                hold = self._with_retry(
+                    lambda b=broker, s=side, p=port: b.prepare(
+                        s,
+                        p,
+                        allocation.sigma,
+                        allocation.tau,
+                        allocation.bw,
+                        rid=allocation.rid,
+                        expires=expires,
+                    ),
+                    outcome,
+                )
+            except BrokerUnavailable:
+                self._abort(placed, outcome)
+                probe.reason = RejectReason.BROKER_UNAVAILABLE
+                return
+            if hold is None:
+                # The search said it fits; a refusal here means the slice
+                # moved between search and prepare (never within one batch,
+                # but the protocol does not assume that).
+                self._abort(placed, outcome)
+                probe.reason = full_reason
+                return
+            placed.append((broker, hold))
+            outcome.holds.append(hold)
+        for broker, hold in placed:
+            try:
+                self._with_retry(lambda b=broker, h=hold: b.commit(h.hold_id), outcome)
+            except BrokerUnavailable:
+                self._abort(placed, outcome)
+                probe.reason = RejectReason.BROKER_UNAVAILABLE
+                return
+        outcome.allocation = allocation
+
+    def _abort(
+        self, placed: list[tuple[ShardBroker, Hold]], outcome: TwoPhaseOutcome
+    ) -> None:
+        """Roll the transaction back: release every hold we placed.
+
+        ``abort_hold`` is served even by a crashed broker (its crash
+        already wiped the hold; the call is then a no-op), so rollback
+        never strands capacity.
+        """
+        for broker, hold in placed:
+            broker.abort_hold(hold.hold_id)
+        outcome.aborted = True
+
+    def _with_retry(self, call: Callable[[], object], outcome: TwoPhaseOutcome):
+        """Run a broker call, burning the backoff budget on unavailability.
+
+        Within one simulated instant a crashed broker cannot recover, so
+        the loop deterministically accumulates the retry count and the
+        backoff delay the attempts would have waited, then re-raises.
+        """
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except BrokerUnavailable:
+                attempt += 1
+                if self.backoff is None or attempt >= self.backoff.max_attempts:
+                    raise
+                outcome.retries += 1
+                outcome.retry_delay += self.backoff.delay(attempt)
+
+    # ------------------------------------------------------------------
+    def expire_holds(self, now: float) -> int:
+        """Sweep every broker for timed-out holds; returns the count."""
+        expired = 0
+        for broker in self.brokers:
+            expired += len(broker.expire_holds(now))
+        return expired
+
+    def release_pair(
+        self, ingress: int, egress: int, t0: float, t1: float, bw: float
+    ) -> None:
+        """Release a committed pair booking back to the owning brokers."""
+        if t1 <= t0:
+            raise InternalInvariantError(f"empty release window [{t0}, {t1})")
+        self.broker_for("ingress", ingress).release("ingress", ingress, t0, t1, bw)
+        self.broker_for("egress", egress).release("egress", egress, t0, t1, bw)

@@ -74,6 +74,38 @@ class Simulator:
             raise ValueError(f"negative delay {delay}")
         return self.queue.push(self._now + delay, callback, payload, priority)
 
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = 0,
+        *,
+        start: float | None = None,
+        until: float = math.inf,
+    ) -> Event:
+        """Schedule ``callback`` periodically: at ``start`` (default
+        ``now + interval``) and every ``interval`` after, while the next
+        occurrence is ``<= until``.
+
+        Each firing re-schedules the next one lazily, so an infinite
+        series costs one pending event at a time and :meth:`run`'s own
+        ``until`` bound still terminates it.  Returns the first event.
+        Periodic housekeeping (hold-expiry sweeps, progress samples) uses
+        this instead of hand-rolled re-scheduling callbacks.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        first = (self._now + interval) if start is None else start
+
+        def fire(event: Event) -> None:
+            callback(event)
+            next_time = event.time + interval
+            if next_time <= until:
+                self.queue.push(next_time, fire, payload, priority)
+
+        return self.at(first, fire, payload, priority)
+
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next event; returns False when the queue is empty."""

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for every gridlint rule (GL001–GL007).
+"""Fixture-driven tests for every gridlint rule (GL001–GL008).
 
 Each rule gets (at least) one fixture proving it fires and one proving
 inline suppression silences it; the end-to-end test plants a violation of
@@ -349,6 +349,73 @@ class TestGL007NoAssert:
         assert len(_suppressed(report, "GL007")) == 1
 
 
+class TestGL008ShardLedgerOwnership:
+    def test_fires_on_foreign_owned_ledger_mutation(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(broker):\n"
+            "    broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)\n",
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL008")) == 1
+
+    def test_fires_on_hold_table_writes(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(broker, hold):
+                broker._holds = {}
+                broker._holds[hold.hold_id] = hold
+                broker._holds.pop(hold.hold_id)
+            """,
+            filename="gateway/gateway.py",
+        )
+        assert len(_active(report, "GL008")) == 3
+
+    def test_reads_and_unrelated_mutators_are_fine(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(broker, holds):
+                n = len(broker._holds)
+                holds.pop(0)
+                broker.release("ingress", 0, 0.0, 1.0, 5.0)
+                return n
+            """,
+            filename="gateway/gateway.py",
+        )
+        assert _active(report, "GL008") == []
+
+    def test_owning_modules_may_mutate(self, tmp_path):
+        source = (
+            "class ShardBroker:\n"
+            "    def book(self):\n"
+            "        self._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)\n"
+            "        self._holds[0] = None\n"
+        )
+        for owner in ("gateway/broker.py", "gateway/twophase.py"):
+            report = _scan(tmp_path / owner.replace("/", "_"), source, filename=owner)
+            assert _active(report, "GL008") == []
+
+    def test_allowlisted_under_tests(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def test_f(broker):\n    broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)\n",
+            filename="tests/test_x.py",
+        )
+        assert _active(report, "GL008") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(broker):\n"
+            "    broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)"
+            "  # gridlint: disable=GL008 -- drill rigging\n",
+        )
+        assert _active(report, "GL008") == []
+        assert len(_suppressed(report, "GL008")) == 1
+
+
 class TestEndToEnd:
     def test_temp_package_with_every_violation_gates(self, tmp_path, capsys):
         """CLI over a package violating all seven rules: exit 1, all ids reported."""
@@ -366,11 +433,12 @@ class TestEndToEnd:
                 import time
 
 
-                def stamp(ledger, entry, journal, now, t_end, deadline):
+                def stamp(ledger, entry, journal, broker, now, t_end, deadline):
                     t0 = time.time()
                     jitter = random.random()
                     same = t_end == deadline
                     ledger._ingress[0] = None
+                    broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)
                     journal.append("op", now, entry=entry)
                     entry["late"] = True
                     assert t0 >= 0
@@ -382,7 +450,7 @@ class TestEndToEnd:
         assert code == 1
         doc = __import__("json").loads(capsys.readouterr().out)
         seen = {f["rule"] for f in doc["findings"]}
-        assert {"GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007"} <= seen
+        assert {"GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007", "GL008"} <= seen
 
     def test_clean_package_exits_zero(self, tmp_path, capsys):
         pkg = tmp_path / "pkg"
