@@ -1,0 +1,210 @@
+"""Capacity-kernel backend shoot-out on an earliest-fit-heavy sweep.
+
+One fixed-seed admission workload runs twice — once per backend — through
+the real booking stack (:func:`repro.core.booking.book_earliest` /
+:func:`~repro.core.booking.earliest_fit` against a
+:class:`~repro.core.ledger.PortLedger`).  The build phase books a dense
+mix of transfers onto a small port set until the timelines carry
+thousands of segments; the timed phase then re-probes the congested
+ledger with read-only earliest-fit searches, the workload every admission
+front-end is made of: per candidate start, two range-max queries per
+``fits`` check.
+
+Two properties are gated:
+
+- **decision invariance** — the full decision trace (booked sigma/bw per
+  build request, probe outcome per probe request) must be byte-identical
+  across backends once JSON-serialised.  The backends are designed
+  bit-identical, not merely tolerance-close;
+- **speed** — the vectorized backend must finish the probe phase at least
+  ``MIN_SPEEDUP`` (2×) faster than the breakpoint-list backend.
+
+Results land in ``benchmarks/results/BENCH_capacity.json`` (uploaded as a
+CI artifact) plus a human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.core import Platform, PortLedger, Request, use_backend
+from repro.core.booking import book_earliest, earliest_fit
+
+#: The vector backend must beat the breakpoint backend by at least this
+#: on the query-heavy probe phase.
+MIN_SPEEDUP = 2.0
+
+PORTS = 2
+CAP = 1000.0
+HORIZON = 80_000.0
+BUILD_REQUESTS = 6000
+PROBE_REQUESTS = 100
+REPEATS = 3
+
+
+def build_requests(seed=0):
+    """The fixed admission stream: small varied rates, long windows.
+
+    Rates are drawn continuously so adjacent bookings never coalesce —
+    the point is a *dense* profile (thousands of segments per port).
+    """
+    rng = np.random.default_rng(seed)
+    requests = []
+    for rid in range(BUILD_REQUESTS):
+        t0 = float(rng.uniform(0.0, HORIZON * 0.9))
+        window = float(rng.uniform(HORIZON * 0.05, HORIZON * 0.2))
+        max_rate = float(rng.uniform(6.0, 28.0))
+        volume = float(rng.uniform(0.3, 0.9)) * max_rate * window
+        requests.append(
+            Request(
+                rid=rid,
+                ingress=int(rng.integers(PORTS)),
+                egress=int(rng.integers(PORTS)),
+                volume=volume,
+                t_start=t0,
+                t_end=t0 + window,
+                max_rate=max_rate,
+            )
+        )
+    return requests
+
+
+def probe_requests(seed=1):
+    """Read-only probes spanning most of the horizon.
+
+    Wide windows on a congested ledger are the expensive case: every
+    candidate start runs range-max queries across thousands of segments.
+    """
+    rng = np.random.default_rng(seed)
+    probes = []
+    for rid in range(PROBE_REQUESTS):
+        t0 = float(rng.uniform(0.0, HORIZON * 0.2))
+        t1 = float(rng.uniform(HORIZON * 0.7, HORIZON))
+        max_rate = float(rng.uniform(20.0, 120.0))
+        volume = float(rng.uniform(0.5, 0.95)) * max_rate * (t1 - t0)
+        probes.append(
+            Request(
+                rid=10_000 + rid,
+                ingress=int(rng.integers(PORTS)),
+                egress=int(rng.integers(PORTS)),
+                volume=volume,
+                t_start=t0,
+                t_end=t1,
+                max_rate=max_rate,
+            )
+        )
+    return probes
+
+
+def run_backend(name, builds, probes):
+    """Build + probe on one backend; returns (decisions, stats, timings)."""
+    with use_backend(name):
+        ledger = PortLedger(Platform.uniform(PORTS, PORTS, CAP))
+
+    build_trace = []
+    for request in builds:
+        allocation = book_earliest(ledger, request)
+        if allocation is None:
+            build_trace.append([request.rid, None, None])
+        else:
+            build_trace.append([request.rid, allocation.sigma, allocation.bw])
+
+    segments = max(
+        ledger.ingress_timeline(i).num_segments for i in range(PORTS)
+    )
+
+    # Timed phase: pure reads, so repeats are safe; take the best of
+    # REPEATS to shed scheduler noise.
+    probe_trace = []
+    best = math.inf
+    for _ in range(REPEATS):
+        trace = []
+        t_begin = time.perf_counter()
+        for request in probes:
+            allocation = earliest_fit(ledger, request)
+            if allocation is None:
+                trace.append([request.rid, None, None])
+            else:
+                trace.append([request.rid, allocation.sigma, allocation.bw])
+        best = min(best, time.perf_counter() - t_begin)
+        probe_trace = trace
+
+    # Headroom-style open-ended probes: the gateway fast path's shape.
+    suffix_probe = 0.0
+    for i in range(PORTS):
+        timeline = ledger.ingress_timeline(i)
+        for t in np.linspace(0.0, HORIZON, 200):
+            suffix_probe += timeline.max_usage(float(t), math.inf)
+
+    booked = sum(1 for _, sigma, _ in build_trace if sigma is not None)
+    decisions = json.dumps({"build": build_trace, "probe": probe_trace})
+    return decisions, {
+        "backend": name,
+        "booked": booked,
+        "rejected": len(build_trace) - booked,
+        "max_segments": segments,
+        "probe_seconds": best,
+        "suffix_probe_sum": suffix_probe,
+    }
+
+
+def test_vector_backend_doubles_probe_throughput(results_dir):
+    builds = build_requests()
+    probes = probe_requests()
+
+    traces = {}
+    rows = []
+    for name in ("breakpoint", "vector"):
+        decisions, stats = run_backend(name, builds, probes)
+        traces[name] = decisions
+        rows.append(stats)
+
+    # Decision invariance: the serialized traces must match byte for byte.
+    assert traces["breakpoint"] == traces["vector"], (
+        "backends disagreed on admission decisions; the kernels have diverged"
+    )
+    assert rows[0]["suffix_probe_sum"] == rows[1]["suffix_probe_sum"]
+    assert rows[0]["booked"] > 0 and rows[0]["rejected"] > 0, (
+        "degenerate workload: need both accepts and rejects to exercise decisions"
+    )
+
+    by_name = {row["backend"]: row for row in rows}
+    speedup = by_name["breakpoint"]["probe_seconds"] / by_name["vector"]["probe_seconds"]
+
+    lines = [f"{'backend':>10} {'segments':>9} {'booked':>7} {'probe_s':>9} {'speedup':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['backend']:>10} {row['max_segments']:>9} {row['booked']:>7} "
+            f"{row['probe_seconds']:>9.4f} "
+            f"{by_name['breakpoint']['probe_seconds'] / row['probe_seconds']:>8.2f}"
+        )
+    (results_dir / "BENCH_capacity.txt").write_text("\n".join(lines) + "\n")
+    (results_dir / "BENCH_capacity.json").write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "ports": PORTS,
+                    "capacity": CAP,
+                    "build_requests": BUILD_REQUESTS,
+                    "probe_requests": PROBE_REQUESTS,
+                    "repeats": REPEATS,
+                },
+                "rows": rows,
+                "decisions_identical": True,
+                "speedup": speedup,
+                "min_speedup": MIN_SPEEDUP,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vector backend is only {speedup:.2f}x the breakpoint backend on the "
+        f"earliest-fit probe phase (need >= {MIN_SPEEDUP}x); see BENCH_capacity.json"
+    )

@@ -55,8 +55,8 @@ def _seed_earliest_fit(ledger, request, rate_for=None, *, not_before=None):
     starts = {earliest}
     points = list(ledger.ingress_timeline(request.ingress).breakpoints())
     points.extend(ledger.egress_timeline(request.egress).breakpoints())
-    points.extend(ledger.degradation_breakpoints("ingress", request.ingress))
-    points.extend(ledger.degradation_breakpoints("egress", request.egress))
+    points.extend(ledger.degradation_edges("ingress", request.ingress))
+    points.extend(ledger.degradation_edges("egress", request.egress))
     for t in points:
         if earliest < t <= latest:
             starts.add(float(t))

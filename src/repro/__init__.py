@@ -27,8 +27,12 @@ from .core import (
     Allocation,
     BandwidthTimeline,
     CapacityError,
+    CapacityProfile,
     ConfigurationError,
     InvalidRequestError,
+    make_profile,
+    set_default_backend,
+    use_backend,
     Platform,
     PortLedger,
     ProblemInstance,
@@ -71,6 +75,7 @@ __all__ = [
     "Allocation",
     "BandwidthTimeline",
     "CapacityError",
+    "CapacityProfile",
     "ConfigurationError",
     "FCFSRigid",
     "FlexibleWorkload",
@@ -97,8 +102,11 @@ __all__ = [
     "fifo_slots",
     "guaranteed_count",
     "guaranteed_rate",
+    "make_profile",
     "make_scheduler",
     "minbw_slots",
+    "set_default_backend",
+    "use_backend",
     "minvol_slots",
     "paper_flexible_workload",
     "paper_rigid_workload",

@@ -16,6 +16,7 @@ from .registry_complete import RegistryCompletenessRule
 from .journal_safety import JournalSafetyRule
 from .asserts import NoAssertRule
 from .shard_ledger import ShardLedgerRule
+from .timeline_internals import TimelineInternalsRule
 
 __all__ = ["all_rules", "default_rules", "rules_by_id"]
 
@@ -28,6 +29,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     JournalSafetyRule,
     NoAssertRule,
     ShardLedgerRule,
+    TimelineInternalsRule,
 )
 
 

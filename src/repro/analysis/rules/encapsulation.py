@@ -36,6 +36,11 @@ _PROTECTED: dict[str, tuple[str, ...]] = {
     "cancelled_at": ("control/service.py", "gateway/gateway.py"),
     "aborted_at": ("control/service.py", "gateway/gateway.py"),
     "displaced_at": ("control/service.py", "gateway/gateway.py"),
+    # Capacity-kernel query caches (slots of the profile backends; the
+    # array internals themselves are GL009's to guard).
+    "_peak": ("core/capacity/",),
+    "_suffix": ("core/capacity/",),
+    "_rmq": ("core/capacity/",),
 }
 
 
@@ -66,7 +71,12 @@ class LedgerEncapsulationRule(Rule):
                 owners = _PROTECTED.get(attr)
                 if owners is None:
                     continue
-                if any(module.relpath.endswith(suffix) for suffix in owners):
+                # Owner suffixes ending in "/" own a whole package.
+                if any(
+                    suffix in module.relpath if suffix.endswith("/")
+                    else module.relpath.endswith(suffix)
+                    for suffix in owners
+                ):
                     continue
                 # Class-body definitions (dataclass fields) are declarations,
                 # not writes on a foreign object.

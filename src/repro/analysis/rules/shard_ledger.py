@@ -47,6 +47,7 @@ _MUTATORS = frozenset(
         "release",
         "degrade",
         "add",
+        "add_batch",
         "pop",
         "popitem",
         "clear",

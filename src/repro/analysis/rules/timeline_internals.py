@@ -1,0 +1,88 @@
+"""GL009 — capacity-profile internals stay inside the kernel package.
+
+The capacity kernel (:mod:`repro.core.capacity`) is the one place that
+stores per-port bandwidth profiles; both backends keep their state in
+``_breakpoints`` / ``_values`` pairs.  Everything above the kernel talks
+to the :class:`~repro.core.capacity.CapacityProfile` interface — range
+add, range max/min, integral, segment iteration.  Code that reaches into
+the arrays directly (``timeline._values[i] += bw``) silently bypasses
+coalescing and the peak/suffix caches, and breaks the moment the default
+backend flips from the breakpoint list to the vectorized one.  Likewise,
+constructing a concrete backend by name (``BreakpointProfile()``) pins a
+caller to one representation; profiles come from
+:func:`~repro.core.capacity.make_profile` (or ``CapacityProfile()``,
+which dispatches) so backend selection stays a configuration decision.
+
+The rule flags, outside ``repro/core/capacity/``:
+
+- any attribute access (read *or* write) named ``_breakpoints`` or
+  ``_values``;
+- any direct call of ``BreakpointProfile`` / ``VectorProfile``.
+
+Ownership is by path fragment, mirroring GL004/GL008, so fixture trees
+that mirror the layout exercise the rule too.  Tests and benchmarks are
+allowlisted: backend-equivalence suites construct both backends on
+purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+from ._common import terminal_name
+
+__all__ = ["TimelineInternalsRule"]
+
+#: The kernel-private array attributes GL009 guards.
+_INTERNAL_ATTRS = ("_breakpoints", "_values")
+
+#: Concrete backend classes that must not be constructed directly.
+_BACKEND_CLASSES = ("BreakpointProfile", "VectorProfile")
+
+#: Path fragment owning the internals (the kernel package itself).
+_OWNER_FRAGMENT = "core/capacity/"
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The terminal name of a call target: ``m.VectorProfile`` → that."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class TimelineInternalsRule(Rule):
+    """Flag access to capacity-profile internals outside the kernel."""
+
+    rule_id: ClassVar[str] = "GL009"
+    title: ClassVar[str] = "timeline-internals"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/", "benchmarks/")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if _OWNER_FRAGMENT in module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _INTERNAL_ATTRS:
+                owner = terminal_name(node.value)
+                yield self.finding(
+                    module,
+                    node,
+                    f"access to {owner or '<expr>'}.{node.attr} outside "
+                    f"{_OWNER_FRAGMENT} bypasses the CapacityProfile "
+                    "interface; use add/max_usage/segments/... instead",
+                )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if name in _BACKEND_CLASSES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct construction of {name} pins the caller to "
+                        "one backend; build profiles via make_profile() or "
+                        "CapacityProfile()",
+                    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 
 from ..core.errors import CapacityError
-from ..core.ledger import CAPACITY_SLACK
+from ..core.capacity import CAPACITY_SLACK
 
 __all__ = ["PortAgent"]
 

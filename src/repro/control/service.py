@@ -39,7 +39,8 @@ from typing import TYPE_CHECKING, Any
 from ..core.allocation import Allocation, ScheduleResult
 from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
 from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
-from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
+from ..core.capacity import CAPACITY_SLACK
+from ..core.ledger import Degradation, PortLedger
 from ..core.platform import Platform
 from ..core.request import Request, RequestSet
 from ..metrics.faults import FaultStats

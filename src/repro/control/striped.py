@@ -108,10 +108,10 @@ def plan_striped(
     # to that conservatism.
     candidates = {t_end}
     points: list[float] = list(ledger.egress_timeline(egress).breakpoints())
-    points.extend(ledger.degradation_breakpoints("egress", egress))
+    points.extend(ledger.degradation_edges("egress", egress))
     for s in sources:
         points.extend(ledger.ingress_timeline(s).breakpoints())
-        points.extend(ledger.degradation_breakpoints("ingress", s))
+        points.extend(ledger.degradation_edges("ingress", s))
     for t in points:
         if t_start < t < t_end:
             candidates.add(float(t))

@@ -7,6 +7,17 @@ requests with transmission windows, ingress/egress capacity constraints
 
 from .allocation import Allocation, ScheduleResult, verify_schedule
 from .booking import FitProbe, RejectReason, book_earliest, earliest_fit
+from .capacity import (
+    CAPACITY_SLACK,
+    BreakpointProfile,
+    CapacityProfile,
+    VectorProfile,
+    available_backends,
+    get_default_backend,
+    make_profile,
+    set_default_backend,
+    use_backend,
+)
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -30,12 +41,16 @@ from .request import Request, RequestSet
 from .timeline import BandwidthTimeline
 
 __all__ = [
+    "CAPACITY_SLACK",
     "Allocation",
     "BandwidthTimeline",
+    "BreakpointProfile",
     "CapacityError",
+    "CapacityProfile",
     "ConfigurationError",
     "Degradation",
     "FitProbe",
+    "VectorProfile",
     "InvalidRequestError",
     "Platform",
     "PortLedger",
@@ -47,9 +62,14 @@ __all__ = [
     "ScheduleResult",
     "ScheduleViolation",
     "accept_rate",
+    "available_backends",
     "book_earliest",
     "demanded_bandwidth",
     "earliest_fit",
+    "get_default_backend",
+    "make_profile",
+    "set_default_backend",
+    "use_backend",
     "guaranteed_count",
     "guaranteed_rate",
     "resource_utilization",

@@ -23,9 +23,9 @@ from typing import Protocol, runtime_checkable
 
 from ..obs.telemetry import get_telemetry
 from .allocation import Allocation
+from .capacity import CapacityProfile
 from .ledger import PortLedger
 from .request import Request
-from .timeline import BandwidthTimeline
 
 __all__ = [
     "FitProbe",
@@ -47,11 +47,11 @@ class LedgerView(Protocol):
     mutates; committing is :func:`book_earliest`'s (or a broker's) job.
     """
 
-    def ingress_timeline(self, i: int) -> BandwidthTimeline: ...
+    def ingress_timeline(self, i: int) -> CapacityProfile: ...
 
-    def egress_timeline(self, e: int) -> BandwidthTimeline: ...
+    def egress_timeline(self, e: int) -> CapacityProfile: ...
 
-    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]: ...
+    def degradation_edges(self, side: str, port: int) -> Iterator[float]: ...
 
     def free_capacity(self, side: str, port: int, t0: float, t1: float) -> float: ...
 
@@ -158,8 +158,8 @@ def earliest_fit(
     starts = {earliest}
     points: list[float] = list(ledger.ingress_timeline(request.ingress).breakpoints())
     points.extend(ledger.egress_timeline(request.egress).breakpoints())
-    points.extend(ledger.degradation_breakpoints("ingress", request.ingress))
-    points.extend(ledger.degradation_breakpoints("egress", request.egress))
+    points.extend(ledger.degradation_edges("ingress", request.ingress))
+    points.extend(ledger.degradation_edges("egress", request.egress))
     for t in points:
         if earliest < t <= latest:
             starts.add(float(t))

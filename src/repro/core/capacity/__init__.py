@@ -1,0 +1,54 @@
+"""``repro.core.capacity`` — the pluggable capacity kernel.
+
+The one place in the library that stores and queries per-port bandwidth
+profiles (Eq. 1's range-max/range-add arithmetic).  Everything above —
+:class:`~repro.core.ledger.PortLedger`, the booking search, the gateway's
+shard brokers and headroom cache, the scheduler families, the metrics
+accounting — talks to the :class:`CapacityProfile` interface; gridlint
+rule GL009 keeps the breakpoint internals private to this package.
+
+Layering (modules above only ever call downward through the interface)::
+
+    experiments / metrics / analysis
+        schedulers (rigid, flexible, advance, localsearch)
+            control (ReservationService)   gateway (brokers, 2PC)
+                core.booking (earliest_fit)
+                    core.ledger (PortLedger, Degradation)
+                        repro.core.capacity   ← the kernel
+                            BreakpointProfile | VectorProfile
+
+See ``docs/CAPACITY.md`` for the interface contract, backend selection
+and the complexity table.
+"""
+
+from __future__ import annotations
+
+from .backends import (
+    available_backends,
+    get_default_backend,
+    make_profile,
+    set_default_backend,
+    use_backend,
+)
+from .breakpoint import BreakpointProfile
+from .checks import CAPACITY_SLACK, UTILISATION_LIMIT, fits_under, slack_capacity
+from .interface import CapacityProfile
+from .stats import carried_volume, utilisation
+from .vector import VectorProfile
+
+__all__ = [
+    "CAPACITY_SLACK",
+    "UTILISATION_LIMIT",
+    "BreakpointProfile",
+    "CapacityProfile",
+    "VectorProfile",
+    "available_backends",
+    "carried_volume",
+    "fits_under",
+    "get_default_backend",
+    "make_profile",
+    "set_default_backend",
+    "slack_capacity",
+    "use_backend",
+    "utilisation",
+]

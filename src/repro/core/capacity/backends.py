@@ -1,0 +1,90 @@
+"""Backend registry and selection for the capacity kernel.
+
+Profiles are constructed through :func:`make_profile`; which backend class
+that yields is decided here.  The default is the breakpoint-list backend
+(bit-for-bit the library's historical behaviour); the vectorized backend
+is opted into per call (``make_profile("vector")``), per scope
+(:func:`use_backend`), process-wide (:func:`set_default_backend`) or via
+the ``REPRO_CAPACITY_BACKEND`` environment variable.
+
+Selection is deliberately coarse: a profile keeps its backend for life
+(there is no migration), and mixing backends across the ports of one
+ledger is allowed but pointless.  The equivalence suite guarantees any
+choice yields the same admission decisions.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from ..errors import ConfigurationError
+from .breakpoint import BreakpointProfile
+from .interface import CapacityProfile
+from .vector import VectorProfile
+
+__all__ = [
+    "available_backends",
+    "get_default_backend",
+    "make_profile",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment variable overriding the initial default backend.
+ENV_VAR = "REPRO_CAPACITY_BACKEND"
+
+_BACKENDS: dict[str, type[CapacityProfile]] = {
+    BreakpointProfile.backend_name: BreakpointProfile,
+    VectorProfile.backend_name: VectorProfile,
+}
+
+_default_backend: str | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _resolve(name: str) -> type[CapacityProfile]:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown capacity backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def get_default_backend() -> str:
+    """The backend :func:`make_profile` uses when none is named."""
+    global _default_backend
+    if _default_backend is None:
+        name = os.environ.get(ENV_VAR, BreakpointProfile.backend_name)
+        _resolve(name)  # fail fast on a typo in the environment
+        _default_backend = name
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Make ``name`` the process-wide default backend."""
+    global _default_backend
+    _resolve(name)
+    _default_backend = name
+
+
+def make_profile(backend: str | None = None) -> CapacityProfile:
+    """A fresh identically-zero profile on ``backend`` (default: configured)."""
+    return _resolve(backend if backend is not None else get_default_backend())()
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scope the default backend to ``name`` (tests, benchmarks, sweeps)."""
+    previous = get_default_backend()
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)

@@ -1,0 +1,175 @@
+"""The :class:`CapacityProfile` contract — Eq. 1's arithmetic, owned here.
+
+Every admission decision in the reproduction reduces to range queries over
+per-port bandwidth profiles: *how much bandwidth is already committed on a
+port over a time interval?*  A :class:`CapacityProfile` is a
+piecewise-constant function ``usage(t)`` over the real line supporting
+
+- **range add** (:meth:`~CapacityProfile.add`, :meth:`~CapacityProfile.add_batch`),
+- **range max / min** (:meth:`~CapacityProfile.max_usage`,
+  :meth:`~CapacityProfile.min_usage`),
+- **point query** (:meth:`~CapacityProfile.usage_at`),
+- **integral** (:meth:`~CapacityProfile.integral`),
+- **segment iteration** (:meth:`~CapacityProfile.segments`),
+- **copy / snapshot** (:meth:`~CapacityProfile.copy`).
+
+Two interchangeable backends implement it: the breakpoint-list
+implementation (:class:`~repro.core.capacity.breakpoint.BreakpointProfile`)
+and the vectorized numpy one
+(:class:`~repro.core.capacity.vector.VectorProfile`).  Both must agree
+decision-for-decision — the backend-equivalence fuzz suite and the
+``bench_capacity`` gate hold them to it.
+
+No module outside ``repro.core.capacity`` may touch a profile's breakpoint
+internals (``_breakpoints`` / ``_values``) or construct a backend class
+directly — gridlint rule GL009 enforces the boundary.  Profiles are built
+via :func:`~repro.core.capacity.backends.make_profile` (or the
+backwards-compatible ``BandwidthTimeline`` alias, which dispatches to the
+configured default backend).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+import numpy as np
+
+__all__ = ["CAPACITY_SLACK", "CapacityProfile"]
+
+#: Relative numerical slack applied to capacity comparisons.  Bandwidth
+#: values are sums of floats; a strict ``<=`` would reject exact fits that
+#: differ by one ulp.  This is the kernel's canonical constant — every
+#: layer (ledger, brokers, schedulers) imports it from here.
+CAPACITY_SLACK: float = 1e-9
+
+
+class CapacityProfile:
+    """A piecewise-constant function ``usage(t)`` over the real line.
+
+    The function starts identically zero.  :meth:`add` adds a constant over
+    a half-open interval ``[t0, t1)``; negative deltas release bandwidth.
+    Adjacent segments with equal values are coalesced to keep the profile
+    compact over long simulations.
+
+    Instantiating :class:`CapacityProfile` directly returns an instance of
+    the configured default backend (see
+    :func:`~repro.core.capacity.backends.set_default_backend`), so the
+    historical ``BandwidthTimeline()`` spelling keeps working.  Subclasses
+    are the backends; they must implement every method below.
+    """
+
+    __slots__ = ()
+
+    #: Short name of the backend implementing this profile.
+    backend_name: ClassVar[str] = "abstract"
+
+    def __new__(cls) -> CapacityProfile:
+        if cls is CapacityProfile:
+            from .backends import make_profile
+
+            return make_profile()
+        return object.__new__(cls)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, t0: float, t1: float, delta: float) -> None:
+        """Add ``delta`` to the usage over ``[t0, t1)``.
+
+        ``delta`` may be negative (releasing a previous allocation).  Empty
+        or inverted intervals are rejected with :class:`ValueError`.
+        """
+        raise NotImplementedError
+
+    def add_batch(self, intervals: Iterable[tuple[float, float, float]]) -> None:
+        """Apply many ``(t0, t1, delta)`` range adds in one call.
+
+        Semantically identical to calling :meth:`add` per interval, in
+        order; backends may batch the breakpoint insertion.  The default
+        implementation is the sequential loop.
+        """
+        for t0, t1, delta in intervals:
+            self.add(t0, t1, delta)
+
+    def clear(self) -> None:
+        """Reset to the identically-zero function."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def usage_at(self, t: float) -> float:
+        """Usage at time ``t`` (right-continuous: the value on ``[t, ...)``)."""
+        raise NotImplementedError
+
+    def max_usage(self, t0: float, t1: float) -> float:
+        """Maximum usage over the interval ``[t0, t1)``."""
+        raise NotImplementedError
+
+    def min_usage(self, t0: float, t1: float) -> float:
+        """Minimum usage over the interval ``[t0, t1)``."""
+        raise NotImplementedError
+
+    def integral(self, t0: float, t1: float) -> float:
+        """``∫ usage(t) dt`` over ``[t0, t1)`` (MB when usage is MB/s).
+
+        Summed segment-by-segment left to right so both backends produce
+        bit-identical totals.
+        """
+        if not (t1 > t0):
+            raise ValueError(f"empty interval [{t0}, {t1})")
+        total = 0.0
+        for seg_start, seg_end, value in self.segments(t0, t1):
+            total += value * (seg_end - seg_start)
+        return total
+
+    def segments(
+        self, t0: float | None = None, t1: float | None = None
+    ) -> Iterator[tuple[float, float, float]]:
+        """Iterate ``(start, end, usage)`` segments clipped to ``[t0, t1)``.
+
+        Without bounds, yields all finite segments where usage is non-zero
+        or interior (the infinite zero tails are skipped).
+        """
+        raise NotImplementedError
+
+    def breakpoints(self) -> np.ndarray:
+        """The finite breakpoints as a numpy array."""
+        raise NotImplementedError
+
+    @property
+    def num_segments(self) -> int:
+        """Current number of stored segments (profile compactness metric)."""
+        raise NotImplementedError
+
+    def global_max(self) -> float:
+        """Maximum usage over all time.
+
+        Both backends cache this — it is the all-time peak behind the
+        gateway's headroom fast path, probed once per admission — and
+        invalidate the cache on every mutation.
+        """
+        raise NotImplementedError
+
+    def is_zero(self, tol: float = 1e-9) -> bool:
+        """True when no bandwidth is committed anywhere.
+
+        ``tol`` absorbs float residue left by add/release cycles of values
+        that are not exactly representable.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def copy(self) -> CapacityProfile:
+        """An independent copy of this profile (same backend)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        finite = [
+            (seg_start, value)
+            for seg_start, _, value in self.segments()
+            if math.isfinite(seg_start)
+        ]
+        return f"{type(self).__name__}({finite!r})"

@@ -1,9 +1,11 @@
 """Capacity-checked allocation ledger for a whole platform.
 
-:class:`PortLedger` keeps one :class:`~repro.core.timeline.BandwidthTimeline`
-per ingress and per egress point and enforces the resource-sharing
-constraints of Eq. 1: at every instant, the bandwidth committed on a port
-never exceeds its capacity.
+:class:`PortLedger` keeps one capacity-kernel profile
+(:class:`~repro.core.capacity.CapacityProfile`) per ingress and per egress
+point and enforces the resource-sharing constraints of Eq. 1: at every
+instant, the bandwidth committed on a port never exceeds its capacity.
+All breakpoint arithmetic lives in :mod:`repro.core.capacity`; the ledger
+only issues interface-level range queries and updates.
 
 Schedulers use the ledger in two modes:
 
@@ -23,19 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import chain
 from collections.abc import Iterator, Mapping
 from typing import Any
 
+from .capacity import CAPACITY_SLACK, CapacityProfile, fits_under, make_profile
+from .capacity import carried_volume as _kernel_carried_volume
 from .errors import CapacityError, ConfigurationError
 from .platform import Platform
-from .timeline import BandwidthTimeline
 
 __all__ = ["PortLedger", "Degradation", "CAPACITY_SLACK"]
-
-#: Relative numerical slack applied to capacity comparisons.  Bandwidth
-#: values are sums of floats; a strict ``<=`` would reject exact fits that
-#: differ by one ulp.
-CAPACITY_SLACK: float = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,20 +82,20 @@ class PortLedger:
 
     def __init__(self, platform: Platform) -> None:
         self.platform = platform
-        self._ingress = [BandwidthTimeline() for _ in range(platform.num_ingress)]
-        self._egress = [BandwidthTimeline() for _ in range(platform.num_egress)]
-        # Capacity-reduction timelines, created lazily: most simulations
+        self._ingress = [make_profile() for _ in range(platform.num_ingress)]
+        self._egress = [make_profile() for _ in range(platform.num_egress)]
+        # Capacity-reduction profiles, created lazily: most simulations
         # never degrade a port and must not pay for the possibility.
-        self._ingress_red: list[BandwidthTimeline | None] = [None] * platform.num_ingress
-        self._egress_red: list[BandwidthTimeline | None] = [None] * platform.num_egress
+        self._ingress_red: list[CapacityProfile | None] = [None] * platform.num_ingress
+        self._egress_red: list[CapacityProfile | None] = [None] * platform.num_egress
 
     # ------------------------------------------------------------------
-    def ingress_timeline(self, i: int) -> BandwidthTimeline:
-        """The usage timeline of ingress point ``i`` (live view)."""
+    def ingress_timeline(self, i: int) -> CapacityProfile:
+        """The usage profile of ingress point ``i`` (live view)."""
         return self._ingress[i]
 
-    def egress_timeline(self, e: int) -> BandwidthTimeline:
-        """The usage timeline of egress point ``e`` (live view)."""
+    def egress_timeline(self, e: int) -> CapacityProfile:
+        """The usage profile of egress point ``e`` (live view)."""
         return self._egress[e]
 
     # ------------------------------------------------------------------
@@ -117,13 +116,13 @@ class PortLedger:
             )
         red = reductions[degradation.port]
         if red is None:
-            red = BandwidthTimeline()
+            red = make_profile()
             reductions[degradation.port] = red
         red.add(degradation.t0, degradation.t1, degradation.amount)
 
     def _side(
         self, side: str
-    ) -> tuple[list[BandwidthTimeline], list[BandwidthTimeline | None]]:
+    ) -> tuple[list[CapacityProfile], list[CapacityProfile | None]]:
         if side == "ingress":
             return self._ingress, self._ingress_red
         if side == "egress":
@@ -176,7 +175,7 @@ class PortLedger:
             worst = max(worst, usage[port].max_usage(seg_start, seg_end) - effective)
         return worst
 
-    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]:
+    def degradation_edges(self, side: str, port: int) -> Iterator[float]:
         """Finite instants where a port's effective capacity changes."""
         _, reductions = self._side(side)
         red = reductions[port]
@@ -190,11 +189,9 @@ class PortLedger:
         cap_out = self.platform.bout(egress)
         if self._ingress_red[ingress] is None and self._egress_red[egress] is None:
             # Fast path: constant capacities (the overwhelmingly common case).
-            slack_in = cap_in * CAPACITY_SLACK
-            slack_out = cap_out * CAPACITY_SLACK
-            if self._ingress[ingress].max_usage(t0, t1) + bw > cap_in + slack_in:
+            if not fits_under(self._ingress[ingress].max_usage(t0, t1), bw, cap_in):
                 return False
-            if self._egress[egress].max_usage(t0, t1) + bw > cap_out + slack_out:
+            if not fits_under(self._egress[egress].max_usage(t0, t1), bw, cap_out):
                 return False
             return True
         slack = max(cap_in, cap_out) * CAPACITY_SLACK
@@ -274,8 +271,8 @@ class PortLedger:
         return worst
 
     @staticmethod
-    def _span(*timelines: BandwidthTimeline | None) -> tuple[float, float] | None:
-        """A finite interval covering every breakpoint of the timelines."""
+    def _span(*timelines: CapacityProfile | None) -> tuple[float, float] | None:
+        """A finite interval covering every breakpoint of the profiles."""
         lo, hi = math.inf, -math.inf
         for tl in timelines:
             if tl is None:
@@ -294,11 +291,7 @@ class PortLedger:
         Ingress and egress each see the full volume, hence the factor ½ —
         mirroring the paper's utilisation scaling.
         """
-        total = 0.0
-        for tl in self._ingress:
-            total += tl.integral(t0, t1)
-        for tl in self._egress:
-            total += tl.integral(t0, t1)
+        total = _kernel_carried_volume(chain(self._ingress, self._egress), t0, t1)
         return 0.5 * total
 
     def is_empty(self) -> bool:

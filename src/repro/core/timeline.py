@@ -1,179 +1,27 @@
-"""Piecewise-constant bandwidth timelines.
+"""Backwards-compatible alias of the capacity kernel's profile type.
 
-Every scheduler in this library must answer the same question: *how much
-bandwidth is already committed on a port over a time interval?*
-:class:`BandwidthTimeline` represents committed bandwidth as a
-piecewise-constant function of time and supports O(log n + k) interval
-updates and queries (n breakpoints, k touched segments).
+``BandwidthTimeline`` used to be the concrete breakpoint-list class that
+every layer poked at; the implementation now lives in
+:mod:`repro.core.capacity` behind the pluggable
+:class:`~repro.core.capacity.CapacityProfile` interface (breakpoint-list
+and vectorized numpy backends, selected via
+:func:`~repro.core.capacity.set_default_backend`).
 
-This is the allocation ledger underlying :class:`repro.core.ledger.PortLedger`
-and the independent schedule verifier.
+The historical spellings keep working:
+
+- ``BandwidthTimeline()`` constructs a profile on the configured default
+  backend (it *is* :class:`CapacityProfile`, whose constructor
+  dispatches);
+- ``isinstance(x, BandwidthTimeline)`` is true for every backend;
+- annotations written against ``BandwidthTimeline`` mean "any profile".
+
+New code should import from :mod:`repro.core.capacity` directly.
 """
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_right
-from collections.abc import Iterator
-
-import numpy as np
+from .capacity import CapacityProfile
 
 __all__ = ["BandwidthTimeline"]
 
-
-class BandwidthTimeline:
-    """A piecewise-constant function ``usage(t) >= 0`` over the real line.
-
-    The function starts identically zero.  :meth:`add` adds a constant over a
-    half-open interval ``[t0, t1)``; negative deltas release bandwidth.
-    Adjacent segments with equal values are coalesced to keep the breakpoint
-    list compact over long simulations.
-    """
-
-    __slots__ = ("_times", "_usage")
-
-    def __init__(self) -> None:
-        # _usage[k] applies on [_times[k], _times[k+1]); the last segment
-        # extends to +inf.  The leading -inf sentinel keeps indexing simple.
-        self._times: list[float] = [-math.inf]
-        self._usage: list[float] = [0.0]
-
-    # ------------------------------------------------------------------
-    # Internal helpers
-    # ------------------------------------------------------------------
-    def _segment_index(self, t: float) -> int:
-        """Index of the segment containing time ``t``."""
-        return bisect_right(self._times, t) - 1
-
-    def _ensure_breakpoint(self, t: float) -> int:
-        """Insert a breakpoint at ``t`` (if absent) and return its index."""
-        idx = self._segment_index(t)
-        if self._times[idx] == t:  # gridlint: disable=GL003 -- breakpoint identity: t was bisected into _times, only an exact hit reuses the entry
-            return idx
-        self._times.insert(idx + 1, t)
-        self._usage.insert(idx + 1, self._usage[idx])
-        return idx + 1
-
-    def _coalesce(self, lo: int, hi: int) -> None:
-        """Merge equal-valued adjacent segments in index range [lo, hi]."""
-        lo = max(lo, 1)
-        hi = min(hi, len(self._times) - 1)
-        # Walk backwards so deletions do not disturb earlier indices.
-        for k in range(hi, lo - 1, -1):
-            if k < len(self._times) and self._usage[k] == self._usage[k - 1]:
-                del self._times[k]
-                del self._usage[k]
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-    def add(self, t0: float, t1: float, delta: float) -> None:
-        """Add ``delta`` to the usage over ``[t0, t1)``.
-
-        ``delta`` may be negative (releasing a previous allocation).  Empty
-        or inverted intervals are rejected.
-        """
-        if not (t1 > t0):
-            raise ValueError(f"empty interval [{t0}, {t1})")
-        if delta == 0.0:
-            return
-        i0 = self._ensure_breakpoint(t0)
-        i1 = self._ensure_breakpoint(t1)
-        for k in range(i0, i1):
-            self._usage[k] += delta
-        self._coalesce(i0 - 1, i1 + 1)
-
-    def clear(self) -> None:
-        """Reset to the identically-zero function."""
-        self._times = [-math.inf]
-        self._usage = [0.0]
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def usage_at(self, t: float) -> float:
-        """Usage at time ``t`` (right-continuous: the value on ``[t, ...)``)."""
-        return self._usage[self._segment_index(t)]
-
-    def max_usage(self, t0: float, t1: float) -> float:
-        """Maximum usage over the interval ``[t0, t1)``."""
-        if not (t1 > t0):
-            raise ValueError(f"empty interval [{t0}, {t1})")
-        i0 = self._segment_index(t0)
-        i1 = self._segment_index(t1)
-        if self._times[i1] == t1:  # gridlint: disable=GL003 -- breakpoint identity: half-open [t0, t1) excludes an exactly-aligned final segment
-            i1 -= 1
-        return max(self._usage[i0 : i1 + 1])
-
-    def min_usage(self, t0: float, t1: float) -> float:
-        """Minimum usage over the interval ``[t0, t1)``."""
-        if not (t1 > t0):
-            raise ValueError(f"empty interval [{t0}, {t1})")
-        i0 = self._segment_index(t0)
-        i1 = self._segment_index(t1)
-        if self._times[i1] == t1:  # gridlint: disable=GL003 -- breakpoint identity: half-open [t0, t1) excludes an exactly-aligned final segment
-            i1 -= 1
-        return min(self._usage[i0 : i1 + 1])
-
-    def integral(self, t0: float, t1: float) -> float:
-        """``∫ usage(t) dt`` over ``[t0, t1)`` (MB when usage is MB/s)."""
-        if not (t1 > t0):
-            raise ValueError(f"empty interval [{t0}, {t1})")
-        total = 0.0
-        for seg_start, seg_end, value in self.segments(t0, t1):
-            total += value * (seg_end - seg_start)
-        return total
-
-    def segments(self, t0: float | None = None, t1: float | None = None) -> Iterator[tuple[float, float, float]]:
-        """Iterate ``(start, end, usage)`` segments clipped to ``[t0, t1)``.
-
-        Without bounds, yields all finite segments where usage is non-zero or
-        interior (the infinite zero tails are skipped).
-        """
-        n = len(self._times)
-        for k in range(n):
-            seg_start = self._times[k]
-            seg_end = self._times[k + 1] if k + 1 < n else math.inf
-            if t0 is not None:
-                seg_start = max(seg_start, t0)
-            if t1 is not None:
-                seg_end = min(seg_end, t1)
-            if seg_start >= seg_end:
-                continue
-            if math.isinf(seg_start) or math.isinf(seg_end):
-                if self._usage[k] == 0.0:
-                    continue
-            yield (seg_start, seg_end, self._usage[k])
-
-    def breakpoints(self) -> np.ndarray:
-        """The finite breakpoints as a numpy array."""
-        return np.array([t for t in self._times if math.isfinite(t)], dtype=np.float64)
-
-    @property
-    def num_segments(self) -> int:
-        """Current number of stored segments (ledger compactness metric)."""
-        return len(self._times)
-
-    def global_max(self) -> float:
-        """Maximum usage over all time."""
-        return max(self._usage)
-
-    def is_zero(self, tol: float = 1e-9) -> bool:
-        """True when no bandwidth is committed anywhere.
-
-        ``tol`` absorbs float residue left by add/release cycles of values
-        that are not exactly representable.
-        """
-        return all(abs(u) <= tol for u in self._usage)
-
-    # ------------------------------------------------------------------
-    def copy(self) -> BandwidthTimeline:
-        """An independent copy of this timeline."""
-        clone = BandwidthTimeline()
-        clone._times = list(self._times)
-        clone._usage = list(self._usage)
-        return clone
-
-    def __repr__(self) -> str:
-        finite = [(t, u) for t, u in zip(self._times, self._usage) if math.isfinite(t)]
-        return f"BandwidthTimeline({finite!r})"
+BandwidthTimeline = CapacityProfile

@@ -29,9 +29,9 @@ import itertools
 from dataclasses import dataclass
 from collections.abc import Iterator
 
+from ..core.capacity import CAPACITY_SLACK, CapacityProfile, fits_under
 from ..core.errors import ConfigurationError, ReproError
-from ..core.ledger import CAPACITY_SLACK, Degradation, PortLedger
-from ..core.timeline import BandwidthTimeline
+from ..core.ledger import Degradation, PortLedger
 from .headroom import HeadroomIndex
 from .sharding import ShardMap
 
@@ -108,8 +108,8 @@ class ShardBroker:
     # ------------------------------------------------------------------
     # Read surface (safe from any module; GL008 only guards mutation)
     # ------------------------------------------------------------------
-    def timeline(self, side: str, port: int) -> BandwidthTimeline:
-        """The usage timeline of an owned port (treat as read-only)."""
+    def timeline(self, side: str, port: int) -> CapacityProfile:
+        """The usage profile of an owned port (treat as read-only)."""
         self._require_owned(side, port)
         if side == "ingress":
             return self._owned_ledger.ingress_timeline(port)
@@ -128,10 +128,10 @@ class ShardBroker:
         """Committed bandwidth on an owned port at time ``t``."""
         return self.timeline(side, port).usage_at(t)
 
-    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]:
+    def degradation_edges(self, side: str, port: int) -> Iterator[float]:
         """Capacity-change instants of an owned port."""
         self._require_owned(side, port)
-        return self._owned_ledger.degradation_breakpoints(side, port)
+        return self._owned_ledger.degradation_edges(side, port)
 
     def has_degradations(self, side: str, port: int) -> bool:
         """Has any capacity reduction been registered on the port?"""
@@ -159,10 +159,9 @@ class ShardBroker:
         """Would ``bw`` fit on this one port over all of ``[t0, t1)``?"""
         self._require_owned(side, port)
         cap = self._capacity(side, port)
-        slack = cap * CAPACITY_SLACK
         if (side, port) not in self._degraded:
-            return self.max_usage(side, port, t0, t1) + bw <= cap + slack
-        return self.free_capacity(side, port, t0, t1) + slack >= bw
+            return fits_under(self.max_usage(side, port, t0, t1), bw, cap)
+        return self.free_capacity(side, port, t0, t1) + cap * CAPACITY_SLACK >= bw
 
     def _capacity(self, side: str, port: int) -> float:
         return self.platform.bin(port) if side == "ingress" else self.platform.bout(port)

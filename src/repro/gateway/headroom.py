@@ -1,13 +1,18 @@
 """Cached per-port headroom index for fast admission pre-checks.
 
 The earliest-fit search walks every usage breakpoint of both port
-timelines.  Most admissions on a lightly-loaded port don't need that: if
+profiles.  Most admissions on a lightly-loaded port don't need that: if
 the requested rate fits under ``capacity − peak_usage`` (the port's
 all-time committed peak), it fits *everywhere*, so the very first
 candidate start — the window opening — is feasible and is exactly what
-the full search would return.  :class:`HeadroomIndex` caches that peak
-per port; brokers invalidate the entry on every booking, hold, release,
-or degradation of the port, and recompute lazily on next read.
+the full search would return.  :class:`HeadroomIndex` is a thin wrapper
+over the capacity kernel's cached peak query
+(:meth:`~repro.core.capacity.CapacityProfile.global_max`, recomputed
+lazily inside the kernel after mutations): the index keeps its own
+per-port entry only so that cross-broker invalidation stays observable
+(hit/miss/invalidation stats) and stale reads stay detectable
+(:meth:`HeadroomIndex.verify_against`).  Brokers invalidate the entry on
+every booking, hold, release, or degradation of the port.
 
 The index is a pure accelerator: a hit must produce the identical
 decision the full search would (the single-shard equivalence tests hold
@@ -18,8 +23,8 @@ window" argument.
 
 from __future__ import annotations
 
+from ..core.capacity import CapacityProfile
 from ..core.errors import InternalInvariantError
-from ..core.timeline import BandwidthTimeline
 
 __all__ = ["HeadroomIndex"]
 
@@ -35,7 +40,7 @@ class HeadroomIndex:
         self._misses = 0
         self._invalidations = 0
 
-    def peak(self, side: str, port: int, timeline: BandwidthTimeline) -> float:
+    def peak(self, side: str, port: int, timeline: CapacityProfile) -> float:
         """The cached all-time peak usage of ``port``; recomputed on miss."""
         key = (side, port)
         cached = self._peaks.get(key)
@@ -43,6 +48,7 @@ class HeadroomIndex:
             self._hits += 1
             return cached
         self._misses += 1
+        # The kernel caches global_max itself; this read re-primes both.
         peak = max(0.0, timeline.global_max())
         self._peaks[key] = peak
         return peak
@@ -52,7 +58,7 @@ class HeadroomIndex:
         self._invalidations += 1
         self._peaks.pop((side, port), None)
 
-    def verify_against(self, side: str, port: int, timeline: BandwidthTimeline) -> None:
+    def verify_against(self, side: str, port: int, timeline: CapacityProfile) -> None:
         """Assert the cached entry (if any) matches the timeline (test hook)."""
         cached = self._peaks.get((side, port))
         if cached is None:

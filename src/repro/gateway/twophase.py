@@ -30,11 +30,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from ..core.allocation import Allocation
 from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
 from ..core.errors import InternalInvariantError
-from ..core.ledger import CAPACITY_SLACK
+from ..core.capacity import fits_under
 from ..core.request import Request
 from ..schedulers.retry import BackoffSchedule
 from .broker import BrokerUnavailable, Hold, ShardBroker
@@ -42,6 +43,8 @@ from .sharding import ShardMap
 from .view import PairLedgerView
 
 __all__ = ["TwoPhaseCoordinator", "TwoPhaseOutcome"]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -162,9 +165,9 @@ class TwoPhaseCoordinator:
         cap_out = platform.bout(request.egress)
         in_peak = ingress_broker.cached_peak("ingress", request.ingress)
         out_peak = egress_broker.cached_peak("egress", request.egress)
-        if in_peak + bw > cap_in + cap_in * CAPACITY_SLACK:
+        if not fits_under(in_peak, bw, cap_in):
             return None
-        if out_peak + bw > cap_out + cap_out * CAPACITY_SLACK:
+        if not fits_under(out_peak, bw, cap_out):
             return None
         probe.candidates = 1
         ingress_broker.add_work(1.0)
@@ -261,7 +264,7 @@ class TwoPhaseCoordinator:
             broker.abort_hold(hold.hold_id)
         outcome.aborted = True
 
-    def _with_retry(self, call: Callable[[], object], outcome: TwoPhaseOutcome):
+    def _with_retry(self, call: Callable[[], _T], outcome: TwoPhaseOutcome) -> _T:
         """Run a broker call, burning the backoff budget on unavailability.
 
         Within one simulated instant a crashed broker cannot recover, so

@@ -17,9 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from ..core.capacity import CAPACITY_SLACK, CapacityProfile, fits_under
 from ..core.errors import ConfigurationError
-from ..core.ledger import CAPACITY_SLACK
-from ..core.timeline import BandwidthTimeline
 from .broker import ShardBroker
 
 __all__ = ["PairLedgerView"]
@@ -61,17 +60,17 @@ class PairLedgerView:
     # ------------------------------------------------------------------
     # The LedgerView protocol (what earliest_fit consumes)
     # ------------------------------------------------------------------
-    def ingress_timeline(self, i: int) -> BandwidthTimeline:
-        """Usage timeline of the pair's ingress port."""
+    def ingress_timeline(self, i: int) -> CapacityProfile:
+        """Usage profile of the pair's ingress port."""
         return self._broker_for("ingress", i).timeline("ingress", i)
 
-    def egress_timeline(self, e: int) -> BandwidthTimeline:
-        """Usage timeline of the pair's egress port."""
+    def egress_timeline(self, e: int) -> CapacityProfile:
+        """Usage profile of the pair's egress port."""
         return self._broker_for("egress", e).timeline("egress", e)
 
-    def degradation_breakpoints(self, side: str, port: int) -> Iterator[float]:
+    def degradation_edges(self, side: str, port: int) -> Iterator[float]:
         """Capacity-change instants of either port of the pair."""
-        return self._broker_for(side, port).degradation_breakpoints(side, port)
+        return self._broker_for(side, port).degradation_edges(side, port)
 
     def free_capacity(self, side: str, port: int, t0: float, t1: float) -> float:
         """Guaranteed free bandwidth on either port over ``[t0, t1)``."""
@@ -93,14 +92,12 @@ class PairLedgerView:
         out_degraded = self.egress_broker.has_degradations("egress", egress)
         if not in_degraded and not out_degraded:
             # Mirrors the PortLedger fast path: constant capacities.
-            if (
-                self.ingress_broker.max_usage("ingress", ingress, t0, t1) + bw
-                > cap_in + cap_in * CAPACITY_SLACK
+            if not fits_under(
+                self.ingress_broker.max_usage("ingress", ingress, t0, t1), bw, cap_in
             ):
                 return False
-            if (
-                self.egress_broker.max_usage("egress", egress, t0, t1) + bw
-                > cap_out + cap_out * CAPACITY_SLACK
+            if not fits_under(
+                self.egress_broker.max_usage("egress", egress, t0, t1), bw, cap_out
             ):
                 return False
             return True

@@ -14,6 +14,7 @@ from typing import Any
 import numpy as np
 
 from ..core.allocation import ScheduleResult
+from ..core.capacity import utilisation
 from ..core.objectives import (
     guaranteed_rate,
     resource_utilization,
@@ -74,7 +75,7 @@ def evaluate(
     problem: ProblemInstance,
     result: ScheduleResult,
     *,
-    f_values: Sequence[float] = (0.5, 0.8, 1.0),
+    fractions: Sequence[float] = (0.5, 0.8, 1.0),
 ) -> MetricsReport:
     """Compute the full metric set for a schedule."""
     requests = problem.requests
@@ -93,14 +94,13 @@ def evaluate(
     t0, t1 = requests.time_span()
     if allocations and t1 > t0:
         port_utils = []
-        horizon = t1 - t0
         for i in range(problem.platform.num_ingress):
             port_utils.append(
-                ledger.ingress_timeline(i).integral(t0, t1) / (problem.platform.bin(i) * horizon)
+                utilisation(ledger.ingress_timeline(i), problem.platform.bin(i), t0, t1)
             )
         for e in range(problem.platform.num_egress):
             port_utils.append(
-                ledger.egress_timeline(e).integral(t0, t1) / (problem.platform.bout(e) * horizon)
+                utilisation(ledger.egress_timeline(e), problem.platform.bout(e), t0, t1)
             )
         port_fairness = jain_index(port_utils)
     else:
@@ -114,7 +114,7 @@ def evaluate(
         utilization_time_averaged=resource_utilization_time_averaged(
             problem.platform, requests, result
         ),
-        guaranteed={f: guaranteed_rate(requests, result, f) for f in f_values},
+        guaranteed={f: guaranteed_rate(requests, result, f) for f in fractions},
         mean_wait=float(np.mean(waits)) if waits else 0.0,
         max_wait=float(np.max(waits)) if waits else 0.0,
         mean_granted_over_max=float(np.mean(granted_ratio)) if granted_ratio else 0.0,

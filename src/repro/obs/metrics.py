@@ -68,27 +68,27 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._values: dict[LabelKey, float] = {}
+        self._samples: dict[LabelKey, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         """Add ``amount`` (default 1) to the sample addressed by ``labels``."""
         if amount < 0:
             raise ConfigurationError(f"counter {self.name} cannot decrease (amount={amount})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        self._samples[key] = self._samples.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         """Current value of one label set (0 when never incremented)."""
-        return self._values.get(_label_key(labels), 0.0)
+        return self._samples.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every label set."""
-        return sum(self._values.values())
+        return sum(self._samples.values())
 
     def samples(self) -> Iterator[tuple[dict[str, str], float]]:
         """``(labels, value)`` pairs in label order."""
-        for key in sorted(self._values):
-            yield dict(key), self._values[key]
+        for key in sorted(self._samples):
+            yield dict(key), self._samples[key]
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical JSON-able form."""
@@ -97,8 +97,8 @@ class Counter:
             "type": self.kind,
             "help": self.help,
             "samples": [
-                {"labels": dict(key), "value": self._values[key]}
-                for key in sorted(self._values)
+                {"labels": dict(key), "value": self._samples[key]}
+                for key in sorted(self._samples)
             ],
         }
 
@@ -108,8 +108,8 @@ class Counter:
         if self.help:
             lines.append(f"# HELP {self.name} {self.help}")
         lines.append(f"# TYPE {self.name} {self.kind}")
-        for key in sorted(self._values):
-            lines.append(f"{self.name}{_render_labels(key)} {_fmt(self._values[key])}")
+        for key in sorted(self._samples):
+            lines.append(f"{self.name}{_render_labels(key)} {_fmt(self._samples[key])}")
         return lines
 
 
@@ -121,18 +121,18 @@ class Gauge(Counter):
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         """Gauges move freely: negative deltas are fine."""
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        self._samples[key] = self._samples.get(key, 0.0) + amount
 
     def set(self, value: float, **labels: Any) -> None:
         """Set the sample addressed by ``labels`` to ``value``."""
-        self._values[_label_key(labels)] = float(value)
+        self._samples[_label_key(labels)] = float(value)
 
     def set_max(self, value: float, **labels: Any) -> None:
         """Raise the sample to ``value`` when that is larger (peak tracking)."""
         key = _label_key(labels)
-        current = self._values.get(key)
+        current = self._samples.get(key)
         if current is None or value > current:
-            self._values[key] = float(value)
+            self._samples[key] = float(value)
 
 
 class Histogram:
@@ -306,7 +306,7 @@ class MetricsRegistry:
                     name, help_text
                 )
                 for sample in item.get("samples", []):
-                    inst._values[_label_key(sample.get("labels", {}))] = float(sample["value"])
+                    inst._samples[_label_key(sample.get("labels", {}))] = float(sample["value"])
             else:
                 raise ConfigurationError(f"unknown metric type {kind!r} for {name!r}")
         return registry

@@ -33,8 +33,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.allocation import Allocation, ScheduleResult
+from ..core.capacity import UTILISATION_LIMIT, slack_capacity
 from ..core.errors import ConfigurationError
-from ..core.ledger import CAPACITY_SLACK
 from ..core.problem import ProblemInstance
 from ..core.request import Request
 from .base import Scheduler
@@ -66,8 +66,8 @@ class _PortOccupancy:
         cap_in = platform.bin(request.ingress)
         cap_out = platform.bout(request.egress)
         return (
-            self.ali[request.ingress] + bw <= cap_in * (1 + CAPACITY_SLACK)
-            and self.ale[request.egress] + bw <= cap_out * (1 + CAPACITY_SLACK)
+            self.ali[request.ingress] + bw <= slack_capacity(cap_in)
+            and self.ale[request.egress] + bw <= slack_capacity(cap_out)
         )
 
     def admit(self, request: Request, bw: float, sigma: float) -> Allocation:
@@ -208,7 +208,7 @@ class WindowFlexible(Scheduler):
                 )
                 costs[~alive] = np.inf
                 cheapest = costs.min()
-                if cheapest > 1.0 + CAPACITY_SLACK:
+                if cheapest > UTILISATION_LIMIT:
                     # The cheapest candidate would overflow a port: nothing
                     # else fits either; reject all remaining candidates.
                     for k in np.flatnonzero(alive):

@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.allocation import Allocation, ScheduleResult
+from ..core.capacity import slack_capacity
 from ..core.errors import ConfigurationError
-from ..core.ledger import CAPACITY_SLACK, PortLedger
+from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
 from .base import Scheduler
@@ -121,8 +122,8 @@ class SlotsScheduler(Scheduler):
                 cap_in = platform.bin(request.ingress)
                 cap_out = platform.bout(request.egress)
                 if (
-                    ali[request.ingress] + bw <= cap_in * (1 + CAPACITY_SLACK)
-                    and ale[request.egress] + bw <= cap_out * (1 + CAPACITY_SLACK)
+                    ali[request.ingress] + bw <= slack_capacity(cap_in)
+                    and ale[request.egress] + bw <= slack_capacity(cap_out)
                 ):
                     ali[request.ingress] += bw
                     ale[request.egress] += bw

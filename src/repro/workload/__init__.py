@@ -43,7 +43,7 @@ from .volumes import (
     PaperVolumes,
     UniformVolumes,
     VolumeDistribution,
-    paper_volume_values,
+    paper_volume_set,
 )
 
 __all__ = [
@@ -84,7 +84,7 @@ __all__ = [
     "paper_flexible_workload",
     "paper_rates",
     "paper_rigid_workload",
-    "paper_volume_values",
+    "paper_volume_set",
     "save_csv",
     "save_npz",
     "steady_state_load",

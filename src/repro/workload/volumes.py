@@ -3,7 +3,7 @@
 The paper draws volumes "randomly chosen from a set of values:
 {10GB, 20GB, …, 90GB, 100GB, 200GB, …, 900GB, 1TB}" (§4.3; the published
 text garbles the first element, the intended set is the two decades plus
-1 TB).  :func:`paper_volume_values` reproduces that set; alternative
+1 TB).  :func:`paper_volume_set` reproduces that set; alternative
 distributions are provided for sensitivity studies.
 """
 
@@ -24,12 +24,12 @@ __all__ = [
     "UniformVolumes",
     "LogUniformVolumes",
     "FixedVolume",
-    "paper_volume_values",
+    "paper_volume_set",
     "PaperVolumes",
 ]
 
 
-def paper_volume_values() -> np.ndarray:
+def paper_volume_set() -> np.ndarray:
     """The §4.3 volume set in MB: 10–90 GB by 10, 100–900 GB by 100, 1 TB."""
     decade1 = np.arange(10, 100, 10, dtype=np.float64) * GB
     decade2 = np.arange(100, 1000, 100, dtype=np.float64) * GB
@@ -71,7 +71,7 @@ class ChoiceVolumes(VolumeDistribution):
 
 def PaperVolumes() -> ChoiceVolumes:
     """The published §4.3 volume distribution."""
-    return ChoiceVolumes(paper_volume_values())
+    return ChoiceVolumes(paper_volume_set())
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for every gridlint rule (GL001–GL008).
+"""Fixture-driven tests for every gridlint rule (GL001–GL009).
 
 Each rule gets (at least) one fixture proving it fires and one proving
 inline suppression silences it; the end-to-end test plants a violation of
@@ -416,9 +416,80 @@ class TestGL008ShardLedgerOwnership:
         assert len(_suppressed(report, "GL008")) == 1
 
 
+class TestGL009TimelineInternals:
+    def test_fires_on_internal_array_write(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def poke(timeline, bw):\n    timeline._values[2] += bw\n",
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL009")) == 1
+
+    def test_fires_on_internal_array_read(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def peek(timeline):\n    return timeline._breakpoints[-1]\n",
+            filename="gateway/hack.py",
+        )
+        assert len(_active(report, "GL009")) == 1
+
+    def test_fires_on_direct_backend_construction(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            from repro.core.capacity import BreakpointProfile, VectorProfile
+
+            def build():
+                return BreakpointProfile(), VectorProfile()
+            """,
+            filename="control/hack.py",
+        )
+        assert len(_active(report, "GL009")) == 2
+
+    def test_interface_calls_are_fine(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def use(profile, t0, t1, bw):
+                profile.add(t0, t1, bw)
+                return profile.max_usage(t0, t1), list(profile.segments(t0, t1))
+            """,
+            filename="schedulers/clean.py",
+        )
+        assert _active(report, "GL009") == []
+
+    def test_kernel_package_owns_its_internals(self, tmp_path):
+        source = """\
+        class BreakpointProfile:
+            def clear(self):
+                self._breakpoints = [0.0]
+                self._values = [0.0]
+        """
+        report = _scan(tmp_path, source, filename="core/capacity/breakpoint.py")
+        assert _active(report, "GL009") == []
+
+    def test_allowlisted_under_tests_and_benchmarks(self, tmp_path):
+        source = "def f(profile):\n    return profile._values\n"
+        report = _scan(tmp_path, source, filename="tests/test_backend.py")
+        assert _active(report, "GL009") == []
+        report = _scan(tmp_path, source, filename="benchmarks/bench_cap.py")
+        assert _active(report, "GL009") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def dbg(tl):\n"
+            "    return tl._breakpoints"
+            "  # gridlint: disable=GL009 -- repr drilling\n",
+            filename="obs/dump.py",
+        )
+        assert _active(report, "GL009") == []
+        assert len(_suppressed(report, "GL009")) == 1
+
+
 class TestEndToEnd:
     def test_temp_package_with_every_violation_gates(self, tmp_path, capsys):
-        """CLI over a package violating all seven rules: exit 1, all ids reported."""
+        """CLI over a package violating every rule: exit 1, all ids reported."""
         pkg = tmp_path / "pkg"
         (pkg / "schedulers").mkdir(parents=True)
         (pkg / "schedulers" / "base.py").write_text("class Scheduler:\n    pass\n")
@@ -439,6 +510,7 @@ class TestEndToEnd:
                     same = t_end == deadline
                     ledger._ingress[0] = None
                     broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)
+                    broker.timeline("ingress", 0)._values[0] = 99.0
                     journal.append("op", now, entry=entry)
                     entry["late"] = True
                     assert t0 >= 0
@@ -450,7 +522,17 @@ class TestEndToEnd:
         assert code == 1
         doc = __import__("json").loads(capsys.readouterr().out)
         seen = {f["rule"] for f in doc["findings"]}
-        assert {"GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007", "GL008"} <= seen
+        assert {
+            "GL001",
+            "GL002",
+            "GL003",
+            "GL004",
+            "GL005",
+            "GL006",
+            "GL007",
+            "GL008",
+            "GL009",
+        } <= seen
 
     def test_clean_package_exits_zero(self, tmp_path, capsys):
         pkg = tmp_path / "pkg"

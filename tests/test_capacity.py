@@ -1,0 +1,289 @@
+"""Tests for the capacity kernel: backends, selection, and regressions.
+
+Every behavioural test is parametrized over both backends — the kernel's
+contract is that they are interchangeable.  The regression tests at the
+bottom (coalescing at tolerance boundaries, ``PortLedger.copy``
+independence) used to live against the concrete timeline class; they are
+kept here against the interface so a future backend inherits them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Platform, PortLedger
+from repro.core.capacity import (
+    BreakpointProfile,
+    CapacityProfile,
+    VectorProfile,
+    available_backends,
+    backends,
+    get_default_backend,
+    make_profile,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.timeline import BandwidthTimeline
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def profile(backend):
+    return make_profile(backend)
+
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert BACKENDS == ("breakpoint", "vector")
+
+    def test_default_is_breakpoint(self):
+        assert get_default_backend() == "breakpoint"
+        assert isinstance(make_profile(), BreakpointProfile)
+
+    def test_make_profile_by_name(self):
+        assert isinstance(make_profile("breakpoint"), BreakpointProfile)
+        assert isinstance(make_profile("vector"), VectorProfile)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown capacity backend"):
+            make_profile("linkedlist")
+        with pytest.raises(ConfigurationError):
+            set_default_backend("linkedlist")
+
+    def test_set_default_backend(self):
+        set_default_backend("vector")
+        try:
+            assert get_default_backend() == "vector"
+            assert isinstance(make_profile(), VectorProfile)
+        finally:
+            set_default_backend("breakpoint")
+
+    def test_use_backend_scopes_and_restores(self):
+        assert get_default_backend() == "breakpoint"
+        with use_backend("vector"):
+            assert get_default_backend() == "vector"
+            assert isinstance(BandwidthTimeline(), VectorProfile)
+        assert get_default_backend() == "breakpoint"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("vector"):
+                raise RuntimeError("boom")
+        assert get_default_backend() == "breakpoint"
+
+    def test_environment_variable_sets_initial_default(self, monkeypatch):
+        monkeypatch.setattr(backends, "_default_backend", None)
+        monkeypatch.setenv(backends.ENV_VAR, "vector")
+        assert get_default_backend() == "vector"
+
+    def test_environment_typo_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(backends, "_default_backend", None)
+        monkeypatch.setenv(backends.ENV_VAR, "vectorised")
+        with pytest.raises(ConfigurationError):
+            get_default_backend()
+        monkeypatch.setattr(backends, "_default_backend", "breakpoint")
+
+    def test_bandwidth_timeline_alias_dispatches(self):
+        tl = BandwidthTimeline()
+        assert isinstance(tl, CapacityProfile)
+        assert isinstance(tl, BandwidthTimeline)
+        assert tl.backend_name == get_default_backend()
+
+    def test_isinstance_holds_for_every_backend(self):
+        for name in BACKENDS:
+            assert isinstance(make_profile(name), BandwidthTimeline)
+
+
+class TestProfileContract:
+    def test_starts_zero(self, profile):
+        assert profile.usage_at(0.0) == 0.0
+        assert profile.is_zero()
+        assert profile.num_segments == 1
+        assert profile.global_max() == 0.0
+
+    def test_add_and_query(self, profile):
+        profile.add(10.0, 20.0, 5.0)
+        assert profile.usage_at(9.999) == 0.0
+        assert profile.usage_at(10.0) == 5.0
+        assert profile.usage_at(20.0) == 0.0  # half-open
+        assert profile.max_usage(0.0, 30.0) == 5.0
+        assert profile.min_usage(10.0, 20.0) == 5.0
+        assert profile.integral(0.0, 30.0) == 50.0
+
+    def test_empty_and_inverted_intervals_rejected(self, profile):
+        for t0, t1 in [(5.0, 5.0), (5.0, 4.0)]:
+            with pytest.raises(ValueError):
+                profile.add(t0, t1, 1.0)
+            with pytest.raises(ValueError):
+                profile.max_usage(t0, t1)
+            with pytest.raises(ValueError):
+                profile.min_usage(t0, t1)
+            with pytest.raises(ValueError):
+                profile.integral(t0, t1)
+
+    def test_release_coalesces_back_to_zero(self, profile):
+        profile.add(0.0, 10.0, 3.0)
+        profile.add(0.0, 10.0, -3.0)
+        assert profile.is_zero()
+        assert profile.num_segments == 1
+
+    def test_segments_clip(self, profile):
+        profile.add(0.0, 10.0, 2.0)
+        profile.add(10.0, 20.0, 4.0)
+        segs = list(profile.segments(5.0, 15.0))
+        assert segs == [(5.0, 10.0, 2.0), (10.0, 15.0, 4.0)]
+
+    def test_breakpoints_finite(self, profile):
+        profile.add(1.0, 2.0, 1.0)
+        pts = profile.breakpoints()
+        assert np.all(np.isfinite(pts))
+        assert list(pts) == [1.0, 2.0]
+
+    def test_global_max_cache_tracks_mutations(self, profile):
+        profile.add(0.0, 10.0, 3.0)
+        assert profile.global_max() == 3.0
+        profile.add(5.0, 15.0, 4.0)
+        assert profile.global_max() == 7.0
+        profile.add(5.0, 15.0, -4.0)
+        assert profile.global_max() == 3.0
+        profile.clear()
+        assert profile.global_max() == 0.0
+
+    def test_open_ended_max_tracks_mutations(self, profile):
+        # Exercises the vector backend's suffix-max cache across
+        # invalidations; the breakpoint backend answers by scan.
+        profile.add(0.0, 10.0, 2.0)
+        assert profile.max_usage(5.0, math.inf) == 2.0
+        profile.add(20.0, 30.0, 9.0)
+        assert profile.max_usage(5.0, math.inf) == 9.0
+        assert profile.max_usage(25.0, math.inf) == 9.0
+        assert profile.max_usage(30.0, math.inf) == 0.0
+        profile.add(20.0, 30.0, -9.0)
+        assert profile.max_usage(5.0, math.inf) == 2.0
+
+    def test_copy_is_independent_and_same_backend(self, profile, backend):
+        profile.add(0.0, 10.0, 3.0)
+        clone = profile.copy()
+        assert clone.backend_name == backend
+        clone.add(0.0, 10.0, 4.0)
+        assert profile.max_usage(0.0, 10.0) == 3.0
+        assert clone.max_usage(0.0, 10.0) == 7.0
+
+    def test_add_batch_matches_sequential_adds(self, backend):
+        rng = np.random.default_rng(7)
+        intervals = []
+        for _ in range(200):
+            t0 = float(rng.uniform(0.0, 1000.0))
+            t1 = t0 + float(rng.uniform(0.1, 200.0))
+            intervals.append((t0, t1, float(rng.uniform(-5.0, 15.0))))
+
+        batched = make_profile(backend)
+        batched.add_batch(intervals)
+        sequential = make_profile(backend)
+        for t0, t1, delta in intervals:
+            sequential.add(t0, t1, delta)
+
+        assert list(batched.segments()) == list(sequential.segments())
+        assert batched.num_segments == sequential.num_segments
+
+    def test_add_batch_empty_is_noop(self, profile):
+        profile.add(0.0, 1.0, 1.0)
+        profile.add_batch([])
+        assert list(profile.segments()) == [(0.0, 1.0, 1.0)]
+
+    def test_add_batch_rejects_bad_interval(self, profile):
+        with pytest.raises(ValueError):
+            profile.add_batch([(0.0, 1.0, 1.0), (5.0, 5.0, 1.0)])
+
+    def test_repr_mentions_backend_class(self, profile, backend):
+        profile.add(0.0, 1.0, 2.0)
+        assert type(profile).__name__ in repr(profile)
+
+
+class TestCoalescingRegression:
+    """Adjacent segments merge on *exact* value equality only.
+
+    Coalescing on approximate equality would silently change admission
+    arithmetic: a segment at ``3.0`` and one at ``3.0 + 1e-12`` are one
+    ulp apart for a max-query but must stay distinct segments, because the
+    later release of the 1e-12 allocation has to find its breakpoints.
+    """
+
+    def test_values_one_ulp_apart_do_not_coalesce(self, profile):
+        profile.add(0.0, 10.0, 3.0)
+        profile.add(10.0, 20.0, 3.0 + 1e-12)
+        assert profile.num_segments == 4  # zero | 3.0 | 3.0+eps | zero
+
+    def test_exactly_equal_values_coalesce(self, profile):
+        profile.add(0.0, 10.0, 3.0)
+        profile.add(10.0, 20.0, 3.0)
+        assert profile.num_segments == 3  # zero | 3.0 | zero
+        assert list(profile.segments()) == [(0.0, 20.0, 3.0)]
+
+    def test_release_heals_a_split(self, profile):
+        profile.add(0.0, 20.0, 3.0)
+        profile.add(5.0, 15.0, 1.0)
+        assert profile.num_segments == 5
+        profile.add(5.0, 15.0, -1.0)
+        assert profile.num_segments == 3
+        assert list(profile.segments()) == [(0.0, 20.0, 3.0)]
+
+    def test_tolerance_residue_not_coalesced_but_is_zero_absorbs(self, profile):
+        profile.add(0.0, 10.0, 0.1)
+        profile.add(0.0, 10.0, 0.2)
+        profile.add(0.0, 10.0, -0.3)
+        # 0.1 + 0.2 - 0.3 != 0.0 exactly; the residue segment survives…
+        assert profile.max_usage(0.0, 10.0) != 0.0
+        # …but is_zero's tolerance absorbs it.
+        assert profile.is_zero()
+
+
+class TestPortLedgerAcrossBackends:
+    @pytest.fixture
+    def platform(self):
+        return Platform.uniform(2, 2, 100.0)
+
+    def test_ledger_copy_independence(self, platform, backend):
+        with use_backend(backend):
+            ledger = PortLedger(platform)
+            ledger.allocate(0, 1, 0.0, 10.0, 40.0)
+            clone = ledger.copy()
+            clone.allocate(0, 1, 0.0, 10.0, 50.0)
+
+            assert ledger.ingress_timeline(0).max_usage(0.0, 10.0) == 40.0
+            assert clone.ingress_timeline(0).max_usage(0.0, 10.0) == 90.0
+            # The original still fits another 60; the clone does not.
+            assert ledger.fits(0, 1, 0.0, 10.0, 60.0)
+            assert not clone.fits(0, 1, 0.0, 10.0, 60.0)
+
+    def test_ledger_timelines_use_selected_backend(self, platform, backend):
+        with use_backend(backend):
+            ledger = PortLedger(platform)
+        assert ledger.ingress_timeline(0).backend_name == backend
+        assert ledger.egress_timeline(1).backend_name == backend
+
+    def test_same_decisions_both_backends(self, platform):
+        decisions = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                ledger = PortLedger(platform)
+                outcome = []
+                for k in range(40):
+                    t0 = float(k % 7)
+                    t1 = t0 + 3.0 + (k % 3)
+                    bw = 30.0 + 7.0 * (k % 5)
+                    if ledger.fits(k % 2, k % 2, t0, t1, bw):
+                        ledger.allocate(k % 2, k % 2, t0, t1, bw)
+                        outcome.append((k, True))
+                    else:
+                        outcome.append((k, False))
+                decisions[name] = outcome
+        assert decisions["breakpoint"] == decisions["vector"]

@@ -134,13 +134,13 @@ class TestDegradation:
         assert ledger.overcommit_on("ingress", 0, 5.0, 8.0) == pytest.approx(30.0)
         assert ledger.overcommit_on("ingress", 0, 0.0, 5.0) == pytest.approx(-20.0)
 
-    def test_degradation_breakpoints_and_copy(self, ledger):
+    def test_degradation_edges_and_copy(self, ledger):
         ledger.degrade(Degradation("egress", 0, 3.0, 7.0, 10.0))
-        assert sorted(ledger.degradation_breakpoints("egress", 0)) == [3.0, 7.0]
+        assert sorted(ledger.degradation_edges("egress", 0)) == [3.0, 7.0]
         clone = ledger.copy()
         clone.degrade(Degradation("egress", 0, 20.0, 30.0, 10.0))
-        assert list(ledger.degradation_breakpoints("egress", 0)) != list(
-            clone.degradation_breakpoints("egress", 0)
+        assert list(ledger.degradation_edges("egress", 0)) != list(
+            clone.degradation_edges("egress", 0)
         )
         assert ledger.capacity_at("egress", 0, 25.0) == pytest.approx(100.0)
 

@@ -50,7 +50,7 @@ class TestEvaluate:
 
     def test_guaranteed_monotone_in_f(self):
         prob = paper_flexible_workload(2.0, 300, seed=5)
-        report = evaluate(prob, GreedyFlexible().schedule(prob), f_values=(0.2, 0.5, 1.0))
+        report = evaluate(prob, GreedyFlexible().schedule(prob), fractions=(0.2, 0.5, 1.0))
         assert report.guaranteed[0.2] >= report.guaranteed[0.5] >= report.guaranteed[1.0]
 
     def test_as_dict_flat(self):

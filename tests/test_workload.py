@@ -33,7 +33,7 @@ from repro.workload import (
     offered_load,
     paper_flexible_workload,
     paper_rigid_workload,
-    paper_volume_values,
+    paper_volume_set,
     steady_state_load,
 )
 
@@ -78,7 +78,7 @@ class TestArrivals:
 
 class TestVolumes:
     def test_paper_values(self):
-        values = paper_volume_values()
+        values = paper_volume_set()
         assert values[0] == 10 * GB
         assert values[-1] == TB
         assert len(values) == 19
@@ -86,7 +86,7 @@ class TestVolumes:
     def test_choice_draws_from_set(self):
         dist = PaperVolumes()
         draws = dist.generate(500, RNG())
-        assert set(draws).issubset(set(paper_volume_values()))
+        assert set(draws).issubset(set(paper_volume_set()))
 
     def test_choice_mean(self):
         dist = ChoiceVolumes([100.0, 300.0])
