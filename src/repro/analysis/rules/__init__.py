@@ -17,6 +17,7 @@ from .journal_safety import JournalSafetyRule
 from .asserts import NoAssertRule
 from .shard_ledger import ShardLedgerRule
 from .timeline_internals import TimelineInternalsRule
+from .channel_boundary import ChannelBoundaryRule
 
 __all__ = ["all_rules", "default_rules", "rules_by_id"]
 
@@ -30,6 +31,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     NoAssertRule,
     ShardLedgerRule,
     TimelineInternalsRule,
+    ChannelBoundaryRule,
 )
 
 

@@ -1,0 +1,92 @@
+"""GL010 — broker protocol calls go through the chaos channel.
+
+The chaos plane (:mod:`repro.gateway.rpc`) only means something if every
+coordinator↔broker protocol delivery actually crosses it: a direct
+``broker.prepare(...)`` / ``broker.commit(...)`` from orchestration code
+is a message that can never be dropped, duplicated, delayed or
+partitioned — chaos drills then certify a path production admission does
+not take, and the idempotency keys the channel supplies are silently
+missing, so a replayed delivery double-books.
+
+The rule flags, outside the gateway's own protocol internals (the
+broker, the coordinator, the channel — by path suffix, mirroring
+GL004/GL008), any call whose method is one of the two-phase protocol
+verbs (``prepare`` / ``commit`` / ``abort_hold`` / ``book_pair``) on an
+access chain with broker evidence: a name or attribute containing
+``broker`` (``broker.prepare(...)``, ``self._brokers[i].commit(...)``,
+``gateway.brokers[s].book_pair(...)``).  Route the call through
+:class:`repro.gateway.rpc.Channel` instead — or, for genuinely local
+tooling, suppress with ``# gridlint: disable=GL010 -- <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+
+__all__ = ["ChannelBoundaryRule"]
+
+#: The two-phase protocol verbs the channel must mediate.
+_PROTOCOL = frozenset({"prepare", "commit", "abort_hold", "book_pair"})
+
+#: Modules allowed to speak the protocol directly (path suffixes).
+_OWNERS: tuple[str, ...] = (
+    "gateway/broker.py",
+    "gateway/twophase.py",
+    "gateway/rpc.py",
+)
+
+
+def _broker_evidence(node: ast.expr) -> str | None:
+    """The broker-ish identifier an access chain passes through, if any.
+
+    ``broker.prepare`` → ``broker``; ``self._brokers[i].commit`` →
+    ``_brokers``; ``channel.prepare`` → ``None`` (channels are the point).
+    """
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            if "broker" in current.attr.lower():
+                return current.attr
+            current = current.value
+        elif isinstance(current, ast.Name):
+            return current.id if "broker" in current.id.lower() else None
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            return None
+
+
+class ChannelBoundaryRule(Rule):
+    """Flag two-phase protocol calls that bypass the chaos channel."""
+
+    rule_id: ClassVar[str] = "GL010"
+    title: ClassVar[str] = "channel-boundary"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/", "benchmarks/")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if any(module.relpath.endswith(suffix) for suffix in _OWNERS):
+            return
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _PROTOCOL:
+                continue
+            evidence = _broker_evidence(node.func.value)
+            if evidence is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"direct {node.func.attr}() on {evidence} bypasses the chaos "
+                "channel; outside the gateway protocol internals "
+                f"({' / '.join(_OWNERS)}) broker protocol messages must go "
+                "through repro.gateway.rpc.Channel so fault injection and "
+                "idempotent delivery apply",
+            )

@@ -9,12 +9,16 @@ against mid-flight aborts, port outages, and process crashes
 """
 
 from .faults import (
+    CHAOS_SCENARIOS,
     AbortFault,
     BrokerCrash,
+    ChaosMatrixReport,
     FaultDrillReport,
     FaultInjector,
     GatewayDrillReport,
     PortFault,
+    chaos_scenario,
+    run_chaos_matrix,
     run_fault_drill,
     run_gateway_fault_drill,
 )
@@ -29,6 +33,8 @@ from .token_bucket import TokenBucket, enforce_series
 __all__ = [
     "AbortFault",
     "BrokerCrash",
+    "CHAOS_SCENARIOS",
+    "ChaosMatrixReport",
     "ControlPlane",
     "FaultDrillReport",
     "FaultInjector",
@@ -46,8 +52,10 @@ __all__ = [
     "StripedBooking",
     "TokenBucket",
     "book_striped",
+    "chaos_scenario",
     "enforce_series",
     "plan_striped",
+    "run_chaos_matrix",
     "run_fault_drill",
     "run_gateway_fault_drill",
 ]

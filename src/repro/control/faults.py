@@ -23,6 +23,15 @@ the fault benchmark, the example scenario, and the end-to-end tests run.
 and faults served by a :class:`~repro.gateway.Gateway`, plus
 :class:`BrokerCrash` events that kill shard brokers mid-protocol (their
 volatile holds are wiped and in-flight two-phase transactions abort).
+
+On top of the drill sits the **chaos matrix**
+(:func:`run_chaos_matrix`): seeds × scenarios — clean, lossy, partition,
+duplicate-storm, crash-mid-2PC (:data:`CHAOS_SCENARIOS`) — each cell a
+full drill with a :class:`~repro.gateway.rpc.ChaosPolicy` attached,
+quiesced past the hold TTL, and audited by
+:func:`~repro.gateway.invariants.check_gateway` (no overcommit, presumed
+abort, ledger reconciliation, journal replay convergence).  CI runs the
+smoke tier of the matrix and fails on any violation.
 """
 
 from __future__ import annotations
@@ -45,14 +54,19 @@ from .service import Reservation, ReservationService
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from ..gateway import Gateway
     from ..gateway.edge import EdgeLimit
+    from ..gateway.rpc import ChaosPolicy
 
 __all__ = [
     "AbortFault",
     "BrokerCrash",
+    "CHAOS_SCENARIOS",
+    "ChaosMatrixReport",
     "PortFault",
     "FaultInjector",
     "FaultDrillReport",
     "GatewayDrillReport",
+    "chaos_scenario",
+    "run_chaos_matrix",
     "run_fault_drill",
     "run_gateway_fault_drill",
 ]
@@ -320,6 +334,10 @@ def run_gateway_fault_drill(
     edge: EdgeLimit | None = None,
     hold_ttl: float = 300.0,
     backoff: BackoffSchedule | None = None,
+    chaos: ChaosPolicy | None = None,
+    rpc_deadline: float | None = None,
+    backlog_limit: int = 0,
+    restart_sweep: float | None = None,
     journal: Journal | None = None,
     seed: int = 0,
     until: float | None = None,
@@ -337,15 +355,27 @@ def run_gateway_fault_drill(
     retry budget.  The trailing open batch is drained at the end of the
     run, so every submission is decided in the returned report.
 
+    ``chaos`` / ``rpc_deadline`` / ``backlog_limit`` wire the message-level
+    fault plane straight through to the gateway (see
+    :mod:`repro.gateway.rpc`).  ``restart_sweep`` schedules a periodic
+    janitor that restarts every crashed broker (journaled ``gw_restart``
+    ops) — the recovery half of the crash-mid-2PC scenario, where crashes
+    are sampled *inside* the protocol by the chaos policy rather than
+    planned as :class:`BrokerCrash` events.
+
     Displacement rebooking is a service-drill feature and is not offered
-    here; displaced residuals stay unbooked.  Aborts sampled for a batched
-    decision are scheduled from the decision (flush) time, mirroring the
-    service drill's "from confirmation" semantics.
+    here; displaced residuals stay unbooked (though with a
+    ``backlog_limit`` broker-down rejections re-admit themselves).
+    Aborts sampled for a batched decision are scheduled from the decision
+    (flush) time, mirroring the service drill's "from confirmation"
+    semantics.
     """
     from ..gateway import Gateway  # local import: control <-> gateway cycle
 
     if not (0.0 <= abort_rate <= 1.0):
         raise ConfigurationError(f"abort_rate must be in [0, 1], got {abort_rate}")
+    if restart_sweep is not None and restart_sweep <= 0:
+        raise ConfigurationError(f"restart_sweep must be positive, got {restart_sweep}")
     sim = Simulator()
     rng = random.Random(seed)
     gateway = Gateway(
@@ -357,6 +387,9 @@ def run_gateway_fault_drill(
         edge=edge,
         hold_ttl=hold_ttl,
         backoff=backoff,
+        chaos=chaos,
+        rpc_deadline=rpc_deadline,
+        backlog_limit=backlog_limit,
         journal=journal,
     )
     report = GatewayDrillReport(gateway=gateway, faults=list(faults), crashes=list(crashes))
@@ -420,9 +453,211 @@ def run_gateway_fault_drill(
         sim.at(crash.at, on_crash, payload=crash, priority=1)
         if crash.restart_at is not None:
             sim.at(crash.restart_at, on_restart, payload=crash)
+    if restart_sweep is not None and requests:
+        # A periodic janitor for chaos-sampled crashes (crash_after_prepare
+        # and friends): restart every dead broker so sampled wipes recover
+        # instead of blacking out a shard for the rest of the run.
+        def on_sweep(event) -> None:
+            for broker in gateway.brokers:
+                if broker.crashed:
+                    gateway.restart_broker(broker.shard_id, now=sim.now)
+
+        last = max(r.t_start for r in requests) + restart_sweep
+        tick = restart_sweep
+        while tick <= last:
+            sim.at(tick, on_sweep, priority=2)
+            tick += restart_sweep
     horizon = until if until is not None else float("inf")
     sim.run(until=horizon)
     gateway.drain(sim.now)
     # The trailing drain can sample fresh mid-flight aborts; run them too.
     sim.run(until=horizon)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Chaos matrix: seeds x scenarios, every cell invariant-audited
+# ----------------------------------------------------------------------
+
+#: The canonical chaos scenarios the matrix sweeps (see
+#: :func:`chaos_scenario` for what each one injects).
+CHAOS_SCENARIOS: tuple[str, ...] = (
+    "clean",
+    "lossy",
+    "partition",
+    "duplicate-storm",
+    "crash-mid-2pc",
+)
+
+
+def chaos_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    num_shards: int = 4,
+    horizon: float = 600.0,
+) -> tuple[ChaosPolicy | None, tuple[BrokerCrash, ...], float | None]:
+    """Build the ``(chaos, crashes, restart_sweep)`` triple for a cell.
+
+    - ``clean`` — no chaos at all; the control row every other scenario's
+      decision stream is diffed against.
+    - ``lossy`` — uniform drop / duplicate / delay on every
+      coordinator<->broker edge (:meth:`~repro.gateway.rpc.ChaosPolicy.lossy`).
+    - ``partition`` — one shard unreachable over the middle of the run,
+      healing at ``0.6 * horizon``; rejected requests park in the backlog
+      and re-admit after the heal.
+    - ``duplicate-storm`` — most messages delivered twice; pure
+      idempotency pressure, zero loss.
+    - ``crash-mid-2pc`` — brokers sampled to die right after
+      acknowledging a prepare or commit, plus one planned
+      :class:`BrokerCrash`, with a periodic restart sweep as the
+      recovery half.
+    """
+    from ..gateway.rpc import ChaosPolicy
+
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if name == "clean":
+        return None, (), None
+    if name == "lossy":
+        return ChaosPolicy.lossy(seed=seed), (), None
+    if name == "partition":
+        return (
+            ChaosPolicy.with_partition(
+                1 % num_shards, 0.25 * horizon, 0.6 * horizon, seed=seed
+            ),
+            (),
+            None,
+        )
+    if name == "duplicate-storm":
+        return ChaosPolicy.duplicate_storm(seed=seed), (), None
+    if name == "crash-mid-2pc":
+        crashes = (BrokerCrash(shard=0, at=0.3 * horizon, restart_at=0.45 * horizon),)
+        return ChaosPolicy.crash_mid_2pc(seed=seed), crashes, horizon / 6.0
+    raise ConfigurationError(
+        f"unknown chaos scenario {name!r}; expected one of {CHAOS_SCENARIOS}"
+    )
+
+
+@dataclass
+class ChaosMatrixReport:
+    """Per-cell outcomes of a :func:`run_chaos_matrix` sweep."""
+
+    #: One dict per (seed, scenario) cell: decisions, chaos counters and
+    #: the full invariant report.
+    cells: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did every cell pass every invariant?"""
+        return all(cell["invariants"]["ok"] for cell in self.cells)
+
+    @property
+    def violations(self) -> list[str]:
+        """Every violation across the matrix, prefixed with its cell."""
+        out: list[str] = []
+        for cell in self.cells:
+            for violation in cell["invariants"]["violations"]:
+                out.append(f"[seed={cell['seed']} {cell['scenario']}] {violation}")
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the CI artifact)."""
+        return {"ok": self.ok, "cells": [dict(cell) for cell in self.cells]}
+
+
+def run_chaos_matrix(
+    platform: Platform,
+    make_requests: Any,
+    *,
+    seeds: Sequence[int],
+    scenarios: Sequence[str] = CHAOS_SCENARIOS,
+    num_shards: int = 4,
+    batch_size: int = 4,
+    ordering: str = "fifo",
+    policy: BandwidthPolicy | None = None,
+    abort_rate: float = 0.0,
+    hold_ttl: float = 120.0,
+    backlog_limit: int = 8,
+    rpc_deadline: float | None = 60.0,
+    horizon: float = 600.0,
+) -> ChaosMatrixReport:
+    """Sweep seeds x scenarios; quiesce and invariant-audit every cell.
+
+    ``make_requests`` is a callable ``(seed) -> Iterable[Request]`` so
+    every seed row gets its own workload.  Each cell runs a full
+    :func:`run_gateway_fault_drill` with the scenario's chaos policy and
+    a journal attached, then drains repeatedly until the gateway has
+    quiesced — no live hold on any broker and the clock past every
+    request deadline (each drain pass advances the clock one hold TTL, so
+    parked backlog entries get their re-admission attempts and any holds
+    they strand expire) — and finally runs
+    :func:`~repro.gateway.invariants.check_gateway` with
+    ``expect_quiesced=True``.  The returned report carries every cell;
+    ``report.ok`` is the CI gate.
+    """
+    from ..gateway.invariants import check_gateway
+
+    report = ChaosMatrixReport()
+    for seed in seeds:
+        requests = list(make_requests(seed))
+        last_deadline = max((r.t_end for r in requests), default=0.0)
+        for scenario in scenarios:
+            chaos, crashes, restart_sweep = chaos_scenario(
+                scenario, seed=seed, num_shards=num_shards, horizon=horizon
+            )
+            journal = Journal()
+            drill = run_gateway_fault_drill(
+                platform,
+                requests,
+                num_shards=num_shards,
+                batch_size=batch_size,
+                ordering=ordering,
+                policy=policy,
+                abort_rate=abort_rate,
+                crashes=crashes,
+                hold_ttl=hold_ttl,
+                chaos=chaos,
+                rpc_deadline=rpc_deadline,
+                backlog_limit=backlog_limit,
+                restart_sweep=restart_sweep,
+                journal=journal,
+                seed=seed,
+            )
+            gateway = drill.gateway
+            # Quiesce: backlog re-admissions triggered by a drain can
+            # strand fresh holds, so keep sweeping full TTLs until the
+            # brokers are empty and the clock is past every deadline
+            # (deadline pruning empties the backlog, so this terminates).
+            for _ in range(12):
+                settled = not any(broker.holds() for broker in gateway.brokers)
+                past = gateway.now > last_deadline + deadline_tolerance(last_deadline)
+                if settled and past:
+                    break
+                gateway.drain(gateway.now + hold_ttl + 1.0)
+            invariants = check_gateway(
+                gateway, journal=journal, now=gateway.now, expect_quiesced=True
+            )
+            stats = gateway.stats
+            report.cells.append(
+                {
+                    "seed": seed,
+                    "scenario": scenario,
+                    "submitted": stats.submits,
+                    "accepted": stats.accepted,
+                    "rejected": stats.rejected,
+                    "shard_unreachable": stats.shard_unreachable,
+                    "backlogged": stats.backlogged,
+                    "readmitted": stats.readmitted,
+                    "compensations": stats.compensations,
+                    "stranded_holds": stats.stranded_holds,
+                    "chaos_drops": stats.chaos_drops,
+                    "chaos_duplicates": stats.chaos_duplicates,
+                    "chaos_partitioned": stats.chaos_partitioned,
+                    "chaos_crashes": stats.chaos_crashes,
+                    "invariants": invariants.to_dict(),
+                }
+            )
     return report

@@ -74,7 +74,12 @@ class RejectReason(enum.Enum):
       deadline-implied rate exceeds what the policy/MaxRate can grant;
     - ``BROKER_UNAVAILABLE`` — a gateway-only outcome: a shard broker
       owning one of the request's ports stayed down through the two-phase
-      retry budget (the monolithic service never emits it).
+      retry budget (the monolithic service never emits it);
+    - ``SHARD_UNREACHABLE`` — gateway-only: message-level faults (lost
+      deliveries, a network partition) exhausted the coordinator's retry
+      or RPC-deadline budget for a shard (see :mod:`repro.gateway.rpc`);
+      unlike a plain reject the gateway backlog may re-admit the request
+      once the shard answers again.
     """
 
     INGRESS_FULL = "ingress-full"
@@ -82,6 +87,7 @@ class RejectReason(enum.Enum):
     WINDOW_INFEASIBLE = "window-infeasible"
     MINRATE_EXCEEDS_MAXRATE = "minrate-exceeds-maxrate"
     BROKER_UNAVAILABLE = "broker-unavailable"
+    SHARD_UNREACHABLE = "shard-unreachable"
 
 
 @dataclass

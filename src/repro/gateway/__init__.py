@@ -33,10 +33,20 @@ workload (the property tests assert this); sharding and batching change
 """
 
 from .batch import AdmissionOrdering, Batcher, PendingAdmission
-from .broker import BrokerUnavailable, Hold, ShardBroker
+from .broker import BrokerUnavailable, Hold, ShardBroker, hold_expired
 from .edge import EdgeLimit, EdgeLimiter
 from .gateway import Gateway, GatewayStats, Ticket
 from .headroom import HeadroomIndex
+from .invariants import InvariantReport, check_gateway
+from .rpc import (
+    Channel,
+    ChannelStats,
+    ChannelTimeout,
+    ChaosPolicy,
+    EdgeChaos,
+    Partition,
+    ShardUnreachable,
+)
 from .sharding import ShardMap
 from .twophase import TwoPhaseCoordinator, TwoPhaseOutcome
 from .view import PairLedgerView
@@ -45,17 +55,27 @@ __all__ = [
     "AdmissionOrdering",
     "Batcher",
     "BrokerUnavailable",
+    "Channel",
+    "ChannelStats",
+    "ChannelTimeout",
+    "ChaosPolicy",
+    "EdgeChaos",
     "EdgeLimit",
     "EdgeLimiter",
     "Gateway",
     "GatewayStats",
     "HeadroomIndex",
     "Hold",
+    "InvariantReport",
     "PairLedgerView",
+    "Partition",
     "PendingAdmission",
     "ShardBroker",
     "ShardMap",
+    "ShardUnreachable",
     "Ticket",
     "TwoPhaseCoordinator",
     "TwoPhaseOutcome",
+    "check_gateway",
+    "hold_expired",
 ]

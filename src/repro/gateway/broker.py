@@ -32,10 +32,22 @@ from collections.abc import Iterator
 from ..core.capacity import CAPACITY_SLACK, CapacityProfile, fits_under
 from ..core.errors import ConfigurationError, ReproError
 from ..core.ledger import Degradation, PortLedger
+from ..units import seconds_eq
 from .headroom import HeadroomIndex
 from .sharding import ShardMap
 
-__all__ = ["BrokerUnavailable", "Hold", "ShardBroker"]
+__all__ = ["BrokerUnavailable", "Hold", "ShardBroker", "hold_expired"]
+
+
+def hold_expired(expires: float, now: float) -> bool:
+    """Has a hold's TTL deadline passed at ``now``?
+
+    A deadline exactly *at* ``now`` counts as expired, and so does one
+    within :func:`repro.units.seconds_eq` noise of it — so the broker
+    sweep and the coordinator sweep (which delegates to it) classify the
+    boundary identically instead of depending on float round-off.
+    """
+    return expires <= now or seconds_eq(expires, now)
 
 
 class BrokerUnavailable(ReproError):
@@ -73,6 +85,17 @@ class ShardBroker:
         self._owned_ledger = PortLedger(self.platform)
         self._holds: dict[int, Hold] = {}
         self._hold_ids = itertools.count()
+        #: Idempotency tables for at-least-once delivery: a replayed
+        #: ``prepare`` finds its first answer here instead of double-
+        #: booking, a replayed ``book_pair`` finds its key already
+        #: recorded, and a replayed ``commit`` consults the terminal
+        #: resolution of its hold.  ``_prepared`` is volatile transaction
+        #: state (a crash clears it, like the holds it guards);
+        #: ``_booked`` and ``_resolution`` model WAL-backed records — they
+        #: survive crashes exactly because the bookings they witness do.
+        self._prepared: dict[object, Hold | None] = {}
+        self._booked: set[object] = set()
+        self._resolution: dict[int, str] = {}
         self._degraded: set[tuple[str, int]] = set()
         self.headroom = HeadroomIndex()
         self.crashed = False
@@ -185,17 +208,34 @@ class ShardBroker:
         self.timeline(side, port).add(t0, t1, delta)
         self.headroom.invalidate(side, port)
 
-    def book_pair(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> None:
+    def book_pair(
+        self,
+        ingress: int,
+        egress: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        key: object | None = None,
+    ) -> None:
         """Atomically commit a shard-local pair booking (both ports owned).
 
         This is the one-shard fast path: no holds, no second phase — the
         underlying :meth:`PortLedger.allocate` capacity check covers both
-        ports at once, exactly like the monolithic service.
+        ports at once, exactly like the monolithic service.  ``key``
+        (the rid, when called through a channel) makes the call
+        idempotent: a duplicated delivery finds the key recorded and
+        books nothing twice.
         """
         self._require_up()
         self._require_owned("ingress", ingress)
         self._require_owned("egress", egress)
+        if key is not None and key in self._booked:
+            self.add_work(1.0)
+            return
         self._owned_ledger.allocate(ingress, egress, t0, t1, bw)
+        if key is not None:
+            self._booked.add(key)
         self.headroom.invalidate("ingress", ingress)
         self.headroom.invalidate("egress", egress)
         self.add_work(1.0)
@@ -228,6 +268,7 @@ class ShardBroker:
         *,
         rid: int,
         expires: float,
+        key: object | None = None,
     ) -> Hold | None:
         """Phase one: pin ``bw`` on one owned port, or refuse.
 
@@ -236,10 +277,27 @@ class ShardBroker:
         coordinator then aborts the transaction).  A granted hold is
         booked into the slice immediately, so concurrent searches see the
         pinned capacity.
+
+        ``key`` (``(rid, side)`` when called through a channel) makes the
+        call idempotent under at-least-once delivery: a replayed prepare
+        returns the recorded answer — the original hold while it is live
+        or committed, ``None`` once the transaction was refused or ended —
+        instead of pinning the capacity twice.
         """
         self._require_up()
         self.add_work(1.0)
+        if key is not None and key in self._prepared:
+            prior = self._prepared[key]
+            if prior is None:
+                return None  # recorded refusal
+            if prior.hold_id in self._holds:
+                return prior  # still live: same hold, no double booking
+            if self._resolution.get(prior.hold_id) == "committed":
+                return prior
+            return None  # aborted / expired / wiped: transaction is over
         if not self.fits_side(side, port, t0, t1, bw):
+            if key is not None:
+                self._prepared[key] = None
             return None
         hold = Hold(
             hold_id=next(self._hold_ids),
@@ -253,46 +311,96 @@ class ShardBroker:
         )
         self._timeline_add(side, port, t0, t1, bw)
         self._holds[hold.hold_id] = hold
+        if key is not None:
+            self._prepared[key] = hold
         return hold
 
     def commit(self, hold_id: int) -> None:
-        """Phase two: the hold's capacity becomes a committed booking."""
+        """Phase two: the hold's capacity becomes a committed booking.
+
+        Idempotent under replay: committing an already-committed hold is
+        a no-op; committing an id this broker never granted (or whose
+        transaction was aborted — a protocol bug, not a delivery fault)
+        still raises :class:`~repro.core.errors.ConfigurationError`.
+        """
         self._require_up()
         hold = self._holds.pop(hold_id, None)
         if hold is None:
+            if self._resolution.get(hold_id) == "committed":
+                self.add_work(1.0)
+                return
             raise ConfigurationError(f"no hold {hold_id} on shard {self.shard_id}")
         # The capacity is already in the timeline; dropping the hold record
         # is what makes it permanent (crash no longer releases it).
+        self._resolution[hold_id] = "committed"
         self.add_work(1.0)
+
+    def _drop_hold(self, hold_id: int, resolution: str) -> bool:
+        """Release one live hold and record why it ended."""
+        hold = self._holds.pop(hold_id, None)
+        if hold is None:
+            return False
+        self._timeline_add(hold.side, hold.port, hold.t0, hold.t1, -hold.bw)
+        self._resolution[hold_id] = resolution
+        self.add_work(1.0)
+        return True
 
     def abort_hold(self, hold_id: int) -> bool:
         """Release one hold; True when it existed and its capacity returned.
 
         Deliberately callable on a crashed broker: aborting is how the
         coordinator *cleans up*, and a crash has already wiped the hold —
-        the call then just reports ``False``.
+        the call then just reports ``False``.  Idempotent: a replayed
+        abort finds the hold gone and reports ``False`` harmlessly.
         """
-        hold = self._holds.pop(hold_id, None)
-        if hold is None:
-            return False
-        self._timeline_add(hold.side, hold.port, hold.t0, hold.t1, -hold.bw)
-        self.add_work(1.0)
-        return True
+        return self._drop_hold(hold_id, "aborted")
 
     def expire_holds(self, now: float) -> list[Hold]:
-        """Timeout-abort every hold whose ``expires`` has passed."""
+        """Timeout-abort every hold whose ``expires`` has passed.
+
+        The boundary is tolerance-aware (:func:`hold_expired`): a hold
+        whose deadline equals ``now`` — or sits within float noise of it —
+        expires on this sweep, consistently with the coordinator's sweep.
+        """
         scanned = len(self._holds)
         if scanned:
             self.add_work(float(scanned))
-        expired = [h for h in self._holds.values() if h.expires <= now]
+        expired = [h for h in self._holds.values() if hold_expired(h.expires, now)]
         for hold in expired:
-            self.abort_hold(hold.hold_id)
+            self._drop_hold(hold.hold_id, "expired")
         self.holds_expired += len(expired)
         return expired
 
     def holds(self) -> list[Hold]:
         """The live (uncommitted) holds, in grant order."""
         return [self._holds[k] for k in sorted(self._holds)]
+
+    def resolutions(self) -> dict[int, str]:
+        """Terminal outcome per ended hold id (read-only copy).
+
+        ``committed`` / ``aborted`` / ``expired`` (TTL sweep) /
+        ``wiped`` (broker crash) — the record replayed deliveries are
+        answered from.
+        """
+        return dict(self._resolution)
+
+    def resolution_of(self, hold_id: int) -> str | None:
+        """Terminal outcome of one hold (``None`` while it is live).
+
+        This is the read the coordinator's termination protocol does when
+        a commit's acknowledgements were all lost: the WAL-backed record,
+        not the volatile tables, answers whether the commit landed.
+        """
+        return self._resolution.get(hold_id)
+
+    def was_booked(self, key: object) -> bool:
+        """Did an atomic pair booking with this idempotency key land?
+
+        Like :meth:`resolution_of`, a durable-log read for the
+        coordinator's termination protocol — it must work even while the
+        broker is down, so no availability check.
+        """
+        return key in self._booked
 
     # ------------------------------------------------------------------
     # Crash / restart
@@ -306,8 +414,12 @@ class ShardBroker:
         """
         wiped = list(self._holds.values())
         for hold in wiped:
-            self.abort_hold(hold.hold_id)
+            self._drop_hold(hold.hold_id, "wiped")
         self.holds_wiped += len(wiped)
+        # The prepare table is in-memory transaction state and dies with
+        # the process; the booking-key and resolution records (WAL-backed,
+        # witnessing durable bookings) survive.
+        self._prepared.clear()
         self.crashed = True
         return len(wiped)
 
@@ -338,4 +450,15 @@ class ShardBroker:
                 }
                 for h in self.holds()
             ],
+            "resolved": {
+                str(hold_id): outcome
+                for hold_id, outcome in sorted(self._resolution.items())
+            },
+            "prepared": {
+                str(key): (hold.hold_id if hold is not None else None)
+                for key, hold in sorted(
+                    self._prepared.items(), key=lambda item: str(item[0])
+                )
+            },
+            "booked": sorted(str(key) for key in self._booked),
         }

@@ -38,6 +38,7 @@ from typing import Any
 
 from ..control.journal import Journal
 from ..control.service import Reservation, ReservationState
+from ..core.booking import RejectReason, deadline_tolerance
 from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.ledger import CAPACITY_SLACK, Degradation
 from ..core.platform import Platform
@@ -47,6 +48,7 @@ from ..schedulers.policies import BandwidthPolicy, MinRatePolicy, policy_from_na
 from ..schedulers.retry import BackoffSchedule
 from .batch import AdmissionOrdering, Batcher, PendingAdmission
 from .edge import EdgeLimit, EdgeLimiter
+from .rpc import ChaosPolicy
 from .sharding import ShardMap
 from .broker import ShardBroker
 from .twophase import TwoPhaseCoordinator
@@ -81,6 +83,26 @@ class GatewayStats:
     displaced: int = 0
     crashes: int = 0
     restarts: int = 0
+    #: Requests rejected ``shard-unreachable`` (chaos: retry/deadline out).
+    shard_unreachable: int = 0
+    #: Rejections parked in the re-admission backlog.
+    backlogged: int = 0
+    #: Backlogged requests successfully re-admitted later.
+    readmitted: int = 0
+    #: Committed bookings undone after a partial two-phase commit.
+    compensations: int = 0
+    #: Holds whose abort delivery was lost (TTL sweep reclaims them).
+    stranded_holds: int = 0
+    #: Ambiguous deliveries the termination probe resolved as landed.
+    recovered_deliveries: int = 0
+    #: Simulated seconds burned waiting on lost deliveries.
+    chaos_wait_total: float = 0.0
+    # Mirrors of the channels' chaos counters (absolute, not deltas).
+    chaos_drops: int = 0
+    chaos_duplicates: int = 0
+    chaos_delays: int = 0
+    chaos_partitioned: int = 0
+    chaos_crashes: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict form (snapshot / reports)."""
@@ -134,6 +156,20 @@ class Gateway:
     backoff:
         Retry schedule for two-phase calls against a crashed broker
         (default: 3 attempts, 5 s base, no jitter — deterministic).
+    chaos:
+        Optional :class:`~repro.gateway.rpc.ChaosPolicy` injected into
+        the coordinator↔broker channels (``None`` keeps them pure
+        pass-throughs — bit-identical to a gateway without the layer).
+    rpc_deadline:
+        Simulated seconds of waiting (backoff + delivery timeouts) a
+        transaction may burn on one shard before it rejects
+        ``shard-unreachable`` instead of wedging the batch.
+    backlog_limit:
+        Re-admission backlog depth for requests rejected only because a
+        shard was down or unreachable; ``0`` (default) disables it.
+        Backlogged requests are retried — as fresh, window-clipped
+        submissions linked via ``origin`` — whenever the clock advances
+        or a broker restarts and their shards answer again.
     journal / telemetry:
         As on :class:`~repro.control.service.ReservationService`.
     on_decision:
@@ -152,12 +188,17 @@ class Gateway:
         edge: EdgeLimit | None = None,
         hold_ttl: float = 300.0,
         backoff: BackoffSchedule | None = None,
+        chaos: ChaosPolicy | None = None,
+        rpc_deadline: float | None = None,
+        backlog_limit: int = 0,
         journal: Journal | None = None,
         telemetry: Telemetry | None = None,
         on_decision=None,
     ) -> None:
         if hold_ttl <= 0:
             raise ConfigurationError(f"hold_ttl must be positive, got {hold_ttl}")
+        if backlog_limit < 0:
+            raise ConfigurationError(f"backlog_limit must be >= 0, got {backlog_limit}")
         self.platform = platform
         self.shard_map = ShardMap(platform, num_shards)
         self.brokers = [ShardBroker(s, self.shard_map) for s in range(num_shards)]
@@ -165,13 +206,23 @@ class Gateway:
         self.backoff = backoff if backoff is not None else BackoffSchedule(
             base=5.0, multiplier=2.0, max_attempts=3
         )
+        self.chaos = chaos
+        self.rpc_deadline = rpc_deadline
+        self.backlog_limit = backlog_limit
         self.coordinator = TwoPhaseCoordinator(
-            self.brokers, self.shard_map, backoff=self.backoff, hold_ttl=hold_ttl
+            self.brokers,
+            self.shard_map,
+            backoff=self.backoff,
+            hold_ttl=hold_ttl,
+            chaos=chaos,
+            rpc_deadline=rpc_deadline,
         )
         self.batcher = Batcher(batch_size, AdmissionOrdering.from_name(ordering))
         self.edge = EdgeLimiter(edge) if edge is not None else None
         self.hold_ttl = hold_ttl
         self.stats = GatewayStats()
+        self._backlog: list[int] = []
+        self._chaos_seen: dict[str, float] = {}
         self.on_decision = on_decision
         self.journal = journal
         self._telemetry = telemetry
@@ -201,6 +252,9 @@ class Gateway:
                         "jitter": self.backoff.jitter,
                     },
                     "edge": edge.to_dict() if edge is not None else None,
+                    "chaos": chaos.to_dict() if chaos is not None else None,
+                    "rpc_deadline": rpc_deadline,
+                    "backlog_limit": backlog_limit,
                 }
             )
 
@@ -224,7 +278,8 @@ class Gateway:
         """Move the clock forward, flushing the previous instant's batch."""
         if now < self._clock:
             raise ConfigurationError(f"time went backwards: {now} < {self._clock}")
-        if now > self._clock and len(self.batcher):
+        moved = now > self._clock
+        if moved and len(self.batcher):
             self._flush(self._clock)
         self._clock = now
         expired = self.coordinator.expire_holds(now)
@@ -236,6 +291,8 @@ class Gateway:
                     "gateway_holds_expired_total",
                     "Two-phase holds timeout-aborted by the brokers' expiry sweep.",
                 ).inc(float(expired))
+        if moved and self._backlog:
+            self._readmit(now)
 
     def _take_rid(self) -> int:
         rid = self._next_rid
@@ -364,6 +421,7 @@ class Gateway:
                 ordering=self.batcher.ordering.value,
                 critical_path=max(deltas),
             )
+        self._publish_chaos()
 
     def _decide(self, ticket: Ticket, now: float) -> None:
         """Run one admission through the coordinator; publish the outcome."""
@@ -388,15 +446,47 @@ class Gateway:
             self.stats.fastpath_hits += 1
         self.stats.prepare_retries += outcome.retries
         self.stats.retry_delay_total += outcome.retry_delay
+        self.stats.chaos_wait_total += outcome.chaos_wait
+        self.stats.compensations += outcome.compensations
+        self.stats.stranded_holds += outcome.stranded
+        self.stats.recovered_deliveries += outcome.recovered
         if outcome.aborted:
             self.stats.twophase_aborts += 1
         if outcome.allocation is not None:
             self.stats.accepted += 1
         else:
             self.stats.rejected += 1
+            if outcome.probe.reason is RejectReason.SHARD_UNREACHABLE:
+                self.stats.shard_unreachable += 1
+            self._maybe_backlog(ticket, outcome.probe.reason)
         self._observe_decision(reservation, outcome, now)
         if self.on_decision is not None:
             self.on_decision(reservation, now)
+
+    def _maybe_backlog(self, ticket: Ticket, reason: RejectReason | None) -> None:
+        """Park a broker-down/unreachable rejection for later re-admission.
+
+        Only *infrastructure* rejections qualify — a capacity or window
+        reject is final.  Re-admissions themselves (``origin`` set) are
+        not parked again: their backlog entry is the original rid.
+        """
+        if self.backlog_limit <= 0 or ticket.origin is not None:
+            return
+        if reason not in (
+            RejectReason.BROKER_UNAVAILABLE,
+            RejectReason.SHARD_UNREACHABLE,
+        ):
+            return
+        if len(self._backlog) >= self.backlog_limit:
+            return
+        self._backlog.append(ticket.rid)
+        self.stats.backlogged += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "gateway_backlogged_total",
+                "Broker-down rejections parked for re-admission.",
+            ).inc()
 
     def _observe_decision(self, reservation: Reservation, outcome, now: float) -> None:
         tel = self.telemetry
@@ -447,6 +537,119 @@ class Gateway:
                 "gateway_rejects_total", "Gateway rejections by reason."
             ).inc(reason=reason)
         tel.emit("gateway.submit", now, **fields)
+
+    # ------------------------------------------------------------------
+    # Degraded-mode re-admission (the backlog)
+    # ------------------------------------------------------------------
+    def _readmit(self, now: float) -> None:
+        """Retry backlogged rejections whose shards answer again.
+
+        Mirrors the service backlog: each entry is retried as a fresh,
+        window-clipped request (new rid, ``origin`` = the rejected rid)
+        once a **read-only** serviceability probe says both owning shards
+        are up and unpartitioned; entries whose deadline can no longer be
+        met even at MaxRate are dropped.  Nothing here is journaled —
+        re-admission is a deterministic function of the op stream (and
+        the chaos seed), so :meth:`replay` reproduces it.
+        """
+        keep: list[int] = []
+        admitted: list[tuple[int, int]] = []
+        work_before = [broker.work for broker in self.brokers]
+        attempted = 0
+        for rid in self._backlog:
+            original = self._reservations[rid].request
+            tol = deadline_tolerance(original.t_end)
+            if now + original.volume / original.max_rate > original.t_end + tol:
+                continue  # deadline unreachable: give the request up
+            in_ok = self.coordinator.channel_for("ingress", original.ingress)
+            out_ok = self.coordinator.channel_for("egress", original.egress)
+            if not (in_ok.serviceable(now) and out_ok.serviceable(now)):
+                keep.append(rid)
+                continue
+            # Every attempt burns a fresh rid — the rid doubles as the
+            # broker-side idempotency key, and a failed attempt leaves
+            # replay records keyed by it on the brokers.  Reusing the rid
+            # for the next attempt would answer a *different* request from
+            # a stale record (a compensated commit replays as "committed"
+            # and books nothing).  Failed attempts therefore leave rid
+            # gaps; replay burns them identically.
+            candidate = Request(
+                rid=self._take_rid(),
+                ingress=original.ingress,
+                egress=original.egress,
+                volume=original.volume,
+                t_start=max(now, original.t_start),
+                t_end=original.t_end,
+                max_rate=original.max_rate,
+            )
+            attempted += 1
+            outcome = self.coordinator.reserve(
+                candidate, lambda sigma, r=candidate: self.policy.assign(r, sigma), now
+            )
+            if outcome.allocation is None:
+                keep.append(rid)
+                continue
+            self._reservations[candidate.rid] = Reservation(
+                rid=candidate.rid,
+                request=candidate,
+                allocation=outcome.allocation,
+                origin=rid,
+            )
+            self.stats.readmitted += 1
+            admitted.append((rid, candidate.rid))
+        self._backlog = keep
+        if attempted:
+            deltas = [b.work - w0 for b, w0 in zip(self.brokers, work_before)]
+            self.simulated_cost += PER_REQUEST_OVERHEAD * attempted + max(deltas)
+        tel = self.telemetry
+        if tel.enabled and admitted:
+            tel.metrics.counter(
+                "gateway_readmissions_total",
+                "Backlogged rejections successfully re-admitted.",
+            ).inc(float(len(admitted)))
+            for origin_rid, new_rid in admitted:
+                tel.emit("gateway.readmit", now, origin=origin_rid, rid=new_rid)
+        self._publish_chaos()
+
+    # ------------------------------------------------------------------
+    # Chaos accounting (channel counters → stats + telemetry deltas)
+    # ------------------------------------------------------------------
+    _CHAOS_COUNTERS = {
+        "drops": "Deliveries lost on coordinator→broker channels.",
+        "duplicates": "Deliveries replayed (at-least-once) to brokers.",
+        "delays": "Deliveries sampled slow on coordinator→broker channels.",
+        "partitioned": "Deliveries refused by an active shard partition.",
+        "crashes": "Broker crashes sampled right after a protocol phase.",
+    }
+
+    def _publish_chaos(self) -> None:
+        """Fold the channels' chaos counters into stats and telemetry.
+
+        With no chaos configured this returns immediately — no counters
+        move, no events are emitted, decision traces stay byte-identical.
+        """
+        if self.chaos is None:
+            return
+        totals = {name: 0.0 for name in self._CHAOS_COUNTERS}
+        totals["latency"] = 0.0
+        for channel in self.coordinator.channels:
+            for name, value in channel.stats.as_dict().items():
+                if name in totals:
+                    totals[name] += float(value)
+        self.stats.chaos_drops = int(totals["drops"])
+        self.stats.chaos_duplicates = int(totals["duplicates"])
+        self.stats.chaos_delays = int(totals["delays"])
+        self.stats.chaos_partitioned = int(totals["partitioned"])
+        self.stats.chaos_crashes = int(totals["crashes"])
+        tel = self.telemetry
+        if tel.enabled:
+            for name, help_text in self._CHAOS_COUNTERS.items():
+                delta = totals[name] - self._chaos_seen.get(name, 0.0)
+                if delta > 0:
+                    tel.metrics.counter(
+                        f"gateway_chaos_{name}_total", help_text
+                    ).inc(delta)
+        self._chaos_seen = totals
 
     # ------------------------------------------------------------------
     # Lifecycle operations (mirroring the monolithic service)
@@ -631,6 +834,8 @@ class Gateway:
         tel = self.telemetry
         if tel.enabled:
             tel.emit("gateway.restart", now, shard=shard)
+        if self._backlog:
+            self._readmit(now)
 
     def _broker(self, shard: int) -> ShardBroker:
         if not (0 <= shard < len(self.brokers)):
@@ -723,6 +928,7 @@ class Gateway:
             "edge_refused": sorted(
                 rid for rid, t in self._tickets.items() if t.edge_refused
             ),
+            "backlog": list(self._backlog),
             "shards": [broker.snapshot() for broker in self.brokers],
             "degradations": [d.to_dict() for d in self._degradations],
             "stats": self.stats.as_dict(),
@@ -747,6 +953,8 @@ class Gateway:
             )
         backoff_cfg = header.get("backoff") or {}
         edge_cfg = header.get("edge")
+        chaos_cfg = header.get("chaos")
+        rpc_deadline = header.get("rpc_deadline")
         gateway = cls(
             Platform.from_dict(header["platform"]),
             num_shards=int(header.get("num_shards", 1)),
@@ -761,6 +969,9 @@ class Gateway:
                 max_attempts=int(backoff_cfg.get("max_attempts", 3)),
                 jitter=float(backoff_cfg.get("jitter", 0.0)),
             ),
+            chaos=ChaosPolicy.from_dict(chaos_cfg) if chaos_cfg is not None else None,
+            rpc_deadline=float(rpc_deadline) if rpc_deadline is not None else None,
+            backlog_limit=int(header.get("backlog_limit", 0)),
             journal=None,
         )
         for entry in journal:

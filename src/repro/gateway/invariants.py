@@ -1,0 +1,212 @@
+"""Post-drill invariant checking for the admission gateway.
+
+The paper's guarantee — *accepted means scheduled, no overcommit* — must
+survive everything the chaos plane throws at the control plane: lost and
+duplicated deliveries, partitions, brokers crashing between prepare and
+commit.  :func:`check_gateway` audits a finished (or mid-flight) gateway
+against the four invariants the design rests on:
+
+1. **No overcommit** — no port's committed usage exceeds its capacity
+   (Eq. 1 per shard slice), beyond the standard numerical slack.
+2. **Presumed abort** — every prepared-never-committed hold is either
+   still within its TTL, or gone (released / timeout-expired / wiped);
+   a hold past its tolerance-aware expiry is a zombie, and at a
+   quiesced end (``expect_quiesced=True``) no hold may be live at all.
+3. **Ledger reconciliation** — every shard timeline carries *exactly*
+   the bandwidth the decided reservations (minus their released tails)
+   plus the live holds account for: no committed booking exists that the
+   journal-derived reservation state does not explain, and nothing the
+   state promises is missing from a ledger.
+4. **Replay convergence** — when the gateway's journal is supplied,
+   :meth:`~repro.gateway.gateway.Gateway.replay` rebuilds a
+   ``snapshot()``-identical gateway, chaos, crash-mid-commit and all.
+
+The checker never asserts; it collects human-readable violation strings
+into an :class:`InvariantReport` so a chaos-matrix cell can carry them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..control.journal import Journal
+from ..core.errors import InternalInvariantError
+from ..core.ledger import CAPACITY_SLACK
+from ..units import bandwidth_eq
+from .broker import hold_expired
+from .gateway import Gateway
+
+__all__ = ["InvariantReport", "check_gateway"]
+
+
+@dataclass
+class InvariantReport:
+    """What :func:`check_gateway` found."""
+
+    violations: list[str] = field(default_factory=list)
+    #: How much was audited (shards, ports, reservations, live holds...).
+    checks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Did every invariant hold?"""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Escalate violations into an :class:`InternalInvariantError`."""
+        if self.violations:
+            raise InternalInvariantError(
+                "gateway invariants violated:\n- " + "\n- ".join(self.violations)
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (chaos-matrix cells / CI artifacts)."""
+        return {"ok": self.ok, "violations": list(self.violations), "checks": dict(self.checks)}
+
+
+def _all_ports(gateway: Gateway) -> list[tuple[str, int]]:
+    platform = gateway.platform
+    return [("ingress", i) for i in range(platform.num_ingress)] + [
+        ("egress", e) for e in range(platform.num_egress)
+    ]
+
+
+def _expected_intervals(gateway: Gateway) -> dict[tuple[str, int], list[tuple[float, float, float]]]:
+    """Per-port ``(t0, t1, bw)`` intervals the reservation state explains.
+
+    A live reservation occupies ``[σ, τ)``; one that ended early
+    (cancel / abort / displacement) kept only ``[σ, min(τ, max(end, σ)))``
+    — its tail was released back to the shards.  Live two-phase holds pin
+    their window too (prepare books capacity immediately).
+    """
+    expected: dict[tuple[str, int], list[tuple[float, float, float]]] = {}
+    for reservation in gateway.reservations():
+        alloc = reservation.allocation
+        if alloc is None:
+            continue
+        stop = reservation.terminated_at
+        end = alloc.tau if stop is None else min(alloc.tau, max(stop, alloc.sigma))
+        if end <= alloc.sigma:
+            continue
+        expected.setdefault(("ingress", alloc.ingress), []).append(
+            (alloc.sigma, end, alloc.bw)
+        )
+        expected.setdefault(("egress", alloc.egress), []).append(
+            (alloc.sigma, end, alloc.bw)
+        )
+    for broker in gateway.brokers:
+        for hold in broker.holds():
+            expected.setdefault((hold.side, hold.port), []).append(
+                (hold.t0, hold.t1, hold.bw)
+            )
+    return expected
+
+
+def check_gateway(
+    gateway: Gateway,
+    *,
+    journal: Journal | None = None,
+    now: float | None = None,
+    expect_quiesced: bool = False,
+) -> InvariantReport:
+    """Audit a gateway against the four admission invariants.
+
+    Parameters
+    ----------
+    gateway:
+        The gateway to audit (typically after a drill).
+    journal:
+        When given, invariant 4 replays it and compares snapshots.
+    now:
+        The audit instant for TTL checks; defaults to the gateway clock.
+    expect_quiesced:
+        The drill claims to have fully settled: any live hold at all is
+        then a violation (every transaction must have committed, aborted
+        or TTL-expired by now).
+    """
+    at = gateway.now if now is None else now
+    report = InvariantReport()
+    violations = report.violations
+
+    # 1 — no overcommit on any shard slice.
+    platform = gateway.platform
+    caps = [platform.bin(i) for i in range(platform.num_ingress)] + [
+        platform.bout(e) for e in range(platform.num_egress)
+    ]
+    tolerance = CAPACITY_SLACK * max(1.0, max(caps, default=1.0))
+    for broker in gateway.brokers:
+        overshoot = broker.max_overcommit()
+        if overshoot > tolerance:
+            violations.append(
+                f"shard {broker.shard_id}: usage exceeds capacity by "
+                f"{overshoot:.6g} MB/s (tolerance {tolerance:.3g})"
+            )
+
+    # 2 — presumed abort: no zombie holds, none at all when quiesced.
+    live_holds = 0
+    for broker in gateway.brokers:
+        resolved = broker.resolutions()
+        for hold in broker.holds():
+            live_holds += 1
+            if hold.hold_id in resolved:
+                violations.append(
+                    f"shard {broker.shard_id}: hold {hold.hold_id} is live "
+                    f"but already resolved ({resolved[hold.hold_id]})"
+                )
+            if hold_expired(hold.expires, at):
+                violations.append(
+                    f"shard {broker.shard_id}: zombie hold {hold.hold_id} "
+                    f"(rid {hold.rid}) past its TTL "
+                    f"(expires {hold.expires:.6g} <= now {at:.6g})"
+                )
+            elif expect_quiesced:
+                violations.append(
+                    f"shard {broker.shard_id}: hold {hold.hold_id} "
+                    f"(rid {hold.rid}) still live at a quiesced end"
+                )
+
+    # 3 — ledger reconciliation: timelines == reservations + live holds.
+    expected = _expected_intervals(gateway)
+    ports = _all_ports(gateway)
+    for side, port in ports:
+        intervals = expected.get((side, port), [])
+        broker = gateway.coordinator.broker_for(side, port)
+        edges = sorted({t for t0, t1, _ in intervals for t in (t0, t1)})
+        samples = [lo + (hi - lo) / 2.0 for lo, hi in zip(edges, edges[1:])]
+        samples.append((edges[-1] if edges else at) + 1.0)
+        for t in samples:
+            want = sum(bw for t0, t1, bw in intervals if t0 <= t < t1)
+            got = broker.usage_at(side, port, t)
+            if not bandwidth_eq(want, got):
+                violations.append(
+                    f"{side} port {port} at t={t:.6g}: ledger carries "
+                    f"{got:.6g} MB/s but reservations+holds account for "
+                    f"{want:.6g} MB/s"
+                )
+                break  # one sample per port is diagnosis enough
+
+    # 4 — replay convergence (when the journal is available).
+    replayed = 0
+    if journal is not None:
+        replayed = 1
+        rebuilt = Gateway.replay(journal).snapshot()
+        current = gateway.snapshot()
+        if rebuilt != current:
+            diverged = sorted(
+                key
+                for key in set(rebuilt) | set(current)
+                if rebuilt.get(key) != current.get(key)
+            )
+            violations.append(
+                "journal replay diverges on: " + ", ".join(diverged)
+            )
+
+    report.checks = {
+        "shards": len(gateway.brokers),
+        "ports": len(ports),
+        "reservations": len(gateway.reservations()),
+        "live_holds": live_holds,
+        "replayed": replayed,
+    }
+    return report

@@ -24,6 +24,24 @@ Failure semantics (what the fault drills exercise):
   crashed peer never strands capacity;
 - a crashed **coordinator** is covered by the hold TTL: brokers
   timeout-abort uncommitted holds in their expiry sweep.
+
+Every protocol call travels through a :class:`~repro.gateway.rpc.Channel`
+(one per broker).  With no :class:`~repro.gateway.rpc.ChaosPolicy` the
+channels are pure pass-throughs and behaviour is identical to calling the
+brokers directly; with one, deliveries can be dropped, duplicated,
+delayed or partitioned, and the coordinator additionally:
+
+- treats a :class:`~repro.gateway.rpc.ChannelTimeout` like an
+  unavailability, burning the same backoff budget, but escalates to
+  :class:`~repro.gateway.rpc.ShardUnreachable` (reject reason
+  ``shard-unreachable``) when the timeouts exhaust the attempts or the
+  configured ``rpc_deadline`` of simulated waiting;
+- **compensates** a partially-committed transaction: when a commit fails
+  after a peer commit already succeeded, the committed booking is
+  released through the channel's reliable compensation path, so a
+  crash-mid-2PC never strands committed capacity;
+- leaves a hold whose abort was lost to the broker's TTL sweep
+  (presumed abort) and counts it as stranded.
 """
 
 from __future__ import annotations
@@ -34,11 +52,12 @@ from typing import TypeVar
 
 from ..core.allocation import Allocation
 from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
-from ..core.errors import InternalInvariantError
+from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.capacity import fits_under
 from ..core.request import Request
 from ..schedulers.retry import BackoffSchedule
 from .broker import BrokerUnavailable, Hold, ShardBroker
+from .rpc import Channel, ChannelTimeout, ChaosPolicy, ShardUnreachable
 from .sharding import ShardMap
 from .view import PairLedgerView
 
@@ -64,6 +83,16 @@ class TwoPhaseOutcome:
     #: A two-phase transaction was started and rolled back.
     aborted: bool = False
     holds: list[Hold] = field(default_factory=list)
+    #: Simulated seconds burned waiting on lost deliveries (chaos only).
+    chaos_wait: float = 0.0
+    #: Committed bookings undone because a peer commit failed (chaos only).
+    compensations: int = 0
+    #: Holds whose abort delivery was lost — the broker TTL sweep will
+    #: reclaim them (presumed abort).
+    stranded: int = 0
+    #: Ambiguous deliveries (every ack lost) the termination probe found
+    #: had actually landed on the broker's durable log (chaos only).
+    recovered: int = 0
 
 
 class TwoPhaseCoordinator:
@@ -76,16 +105,31 @@ class TwoPhaseCoordinator:
         *,
         backoff: BackoffSchedule | None = None,
         hold_ttl: float = 300.0,
+        chaos: ChaosPolicy | None = None,
+        rpc_deadline: float | None = None,
     ) -> None:
+        if rpc_deadline is not None and rpc_deadline <= 0:
+            raise ConfigurationError(
+                f"rpc_deadline must be positive, got {rpc_deadline}"
+            )
         self.brokers = list(brokers)
         self.shard_map = shard_map
         self.backoff = backoff
         self.hold_ttl = hold_ttl
+        self.chaos = chaos
+        #: Simulated seconds of waiting (backoff + timeouts) a transaction
+        #: may burn on one shard before it is declared unreachable.
+        self.rpc_deadline = rpc_deadline
+        self.channels = [Channel(broker, policy=chaos) for broker in brokers]
 
     # ------------------------------------------------------------------
     def broker_for(self, side: str, port: int) -> ShardBroker:
         """The broker owning ``port`` on ``side``."""
         return self.brokers[self.shard_map.shard_of(side, port)]
+
+    def channel_for(self, side: str, port: int) -> Channel:
+        """The channel to the broker owning ``port`` on ``side``."""
+        return self.channels[self.shard_map.shard_of(side, port)]
 
     def reserve(
         self,
@@ -121,11 +165,15 @@ class TwoPhaseCoordinator:
             return outcome
 
         if outcome.local:
-            self._place_local(ingress_broker, allocation, outcome, probe)
-        else:
-            self._place_two_phase(
-                ingress_broker, egress_broker, allocation, now, outcome, probe
+            self._place_local(
+                self.channel_for("ingress", request.ingress),
+                allocation,
+                outcome,
+                probe,
+                now,
             )
+        else:
+            self._place_two_phase(allocation, now, outcome, probe)
         return outcome
 
     # ------------------------------------------------------------------
@@ -177,32 +225,44 @@ class TwoPhaseCoordinator:
     # ------------------------------------------------------------------
     def _place_local(
         self,
-        broker: ShardBroker,
+        channel: Channel,
         allocation: Allocation,
         outcome: TwoPhaseOutcome,
         probe: FitProbe,
+        now: float,
     ) -> None:
         """Shard-local placement: one atomic pair booking, no protocol."""
         try:
             self._with_retry(
-                lambda: broker.book_pair(
+                lambda: channel.book_pair(
                     allocation.ingress,
                     allocation.egress,
                     allocation.sigma,
                     allocation.tau,
                     allocation.bw,
+                    rid=allocation.rid,
+                    now=now,
                 ),
                 outcome,
             )
         except BrokerUnavailable:
             probe.reason = RejectReason.BROKER_UNAVAILABLE
             return
+        except ShardUnreachable:
+            if channel.booking_landed(allocation.rid):
+                # Termination probe: the booking executed and only its
+                # acknowledgements were lost.  Accepting is the only
+                # correct answer — rejecting would strand the booked
+                # capacity with no reservation to explain it.
+                outcome.recovered += 1
+                outcome.allocation = allocation
+                return
+            probe.reason = RejectReason.SHARD_UNREACHABLE
+            return
         outcome.allocation = allocation
 
     def _place_two_phase(
         self,
-        ingress_broker: ShardBroker,
-        egress_broker: ShardBroker,
         allocation: Allocation,
         now: float,
         outcome: TwoPhaseOutcome,
@@ -211,14 +271,24 @@ class TwoPhaseCoordinator:
         """Cross-shard placement: prepare both holds, then commit both."""
         expires = now + self.hold_ttl
         plan = (
-            (ingress_broker, "ingress", allocation.ingress, RejectReason.INGRESS_FULL),
-            (egress_broker, "egress", allocation.egress, RejectReason.EGRESS_FULL),
+            (
+                self.channel_for("ingress", allocation.ingress),
+                "ingress",
+                allocation.ingress,
+                RejectReason.INGRESS_FULL,
+            ),
+            (
+                self.channel_for("egress", allocation.egress),
+                "egress",
+                allocation.egress,
+                RejectReason.EGRESS_FULL,
+            ),
         )
-        placed: list[tuple[ShardBroker, Hold]] = []
-        for broker, side, port, full_reason in plan:
+        placed: list[tuple[Channel, Hold]] = []
+        for channel, side, port, full_reason in plan:
             try:
                 hold = self._with_retry(
-                    lambda b=broker, s=side, p=port: b.prepare(
+                    lambda c=channel, s=side, p=port: c.prepare(
                         s,
                         p,
                         allocation.sigma,
@@ -226,61 +296,134 @@ class TwoPhaseCoordinator:
                         allocation.bw,
                         rid=allocation.rid,
                         expires=expires,
+                        now=now,
                     ),
                     outcome,
                 )
             except BrokerUnavailable:
-                self._abort(placed, outcome)
+                self._abort(placed, outcome, now)
                 probe.reason = RejectReason.BROKER_UNAVAILABLE
+                return
+            except ShardUnreachable:
+                self._abort(placed, outcome, now)
+                probe.reason = RejectReason.SHARD_UNREACHABLE
                 return
             if hold is None:
                 # The search said it fits; a refusal here means the slice
                 # moved between search and prepare (never within one batch,
                 # but the protocol does not assume that).
-                self._abort(placed, outcome)
+                self._abort(placed, outcome, now)
                 probe.reason = full_reason
                 return
-            placed.append((broker, hold))
+            placed.append((channel, hold))
             outcome.holds.append(hold)
-        for broker, hold in placed:
+        committed: list[tuple[Channel, Hold]] = []
+        for channel, hold in placed:
             try:
-                self._with_retry(lambda b=broker, h=hold: b.commit(h.hold_id), outcome)
-            except BrokerUnavailable:
-                self._abort(placed, outcome)
-                probe.reason = RejectReason.BROKER_UNAVAILABLE
+                self._with_retry(
+                    lambda c=channel, h=hold: c.commit(h.hold_id, now=now), outcome
+                )
+            except (BrokerUnavailable, ShardUnreachable) as exc:
+                if isinstance(exc, ShardUnreachable) and channel.resolved_committed(
+                    hold.hold_id
+                ):
+                    # Termination probe against the broker's durable
+                    # resolution log: the commit landed and only its
+                    # acknowledgements were lost.  The transaction
+                    # marches on — presuming abort here would strand the
+                    # committed booking.
+                    outcome.recovered += 1
+                    committed.append((channel, hold))
+                    continue
+                # Atomicity under partial commit: undo the peer bookings
+                # that already committed (reliable compensation records),
+                # then abort whatever is still held.
+                self._compensate(committed, outcome, now)
+                self._abort(placed[len(committed):], outcome, now)
+                probe.reason = (
+                    RejectReason.SHARD_UNREACHABLE
+                    if isinstance(exc, ShardUnreachable)
+                    else RejectReason.BROKER_UNAVAILABLE
+                )
                 return
+            committed.append((channel, hold))
         outcome.allocation = allocation
 
     def _abort(
-        self, placed: list[tuple[ShardBroker, Hold]], outcome: TwoPhaseOutcome
+        self,
+        placed: list[tuple[Channel, Hold]],
+        outcome: TwoPhaseOutcome,
+        now: float,
     ) -> None:
         """Roll the transaction back: release every hold we placed.
 
         ``abort_hold`` is served even by a crashed broker (its crash
         already wiped the hold; the call is then a no-op), so rollback
-        never strands capacity.
+        never strands capacity — unless the abort *delivery* itself is
+        lost, in which case the hold is stranded on purpose and the
+        broker's TTL sweep reclaims it (presumed abort).
         """
-        for broker, hold in placed:
-            broker.abort_hold(hold.hold_id)
+        for channel, hold in placed:
+            try:
+                channel.abort_hold(hold.hold_id, now=now)
+            except ChannelTimeout:
+                outcome.stranded += 1
         outcome.aborted = True
 
+    def _compensate(
+        self,
+        committed: list[tuple[Channel, Hold]],
+        outcome: TwoPhaseOutcome,
+        now: float,
+    ) -> None:
+        """Undo committed halves of a failed transaction (never lost)."""
+        for channel, hold in committed:
+            channel.release(hold.side, hold.port, hold.t0, hold.t1, hold.bw, now=now)
+            outcome.compensations += 1
+
     def _with_retry(self, call: Callable[[], _T], outcome: TwoPhaseOutcome) -> _T:
-        """Run a broker call, burning the backoff budget on unavailability.
+        """Run a broker call, burning the backoff budget on failures.
 
         Within one simulated instant a crashed broker cannot recover, so
         the loop deterministically accumulates the retry count and the
         backoff delay the attempts would have waited, then re-raises.
+        Lost deliveries (:class:`ChannelTimeout`) burn the same attempt
+        budget plus their timeout cost in simulated waiting; when the
+        attempts run out on a timeout, or the accumulated waiting would
+        exceed ``rpc_deadline``, the shard is declared
+        :class:`ShardUnreachable` — a real deadline, not a wedged batch.
         """
         attempt = 0
+        waited = 0.0
+        timeouts = 0
         while True:
             try:
                 return call()
-            except BrokerUnavailable:
+            except (BrokerUnavailable, ChannelTimeout) as exc:
                 attempt += 1
+                if isinstance(exc, ChannelTimeout):
+                    timeouts += 1
+                    waited += exc.cost
+                    outcome.chaos_wait += exc.cost
                 if self.backoff is None or attempt >= self.backoff.max_attempts:
+                    if timeouts:
+                        raise ShardUnreachable(
+                            f"gave up after {attempt} attempts "
+                            f"({timeouts} lost deliveries)"
+                        ) from exc
                     raise
+                delay = self.backoff.delay(attempt)
+                if (
+                    self.rpc_deadline is not None
+                    and waited + delay > self.rpc_deadline
+                ):
+                    raise ShardUnreachable(
+                        f"rpc deadline {self.rpc_deadline}s exhausted after "
+                        f"{attempt} attempts ({waited:.1f}s waited)"
+                    ) from exc
                 outcome.retries += 1
-                outcome.retry_delay += self.backoff.delay(attempt)
+                outcome.retry_delay += delay
+                waited += delay
 
     # ------------------------------------------------------------------
     def expire_holds(self, now: float) -> int:

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for every gridlint rule (GL001–GL009).
+"""Fixture-driven tests for every gridlint rule (GL001–GL010).
 
 Each rule gets (at least) one fixture proving it fires and one proving
 inline suppression silences it; the end-to-end test plants a violation of
@@ -487,6 +487,77 @@ class TestGL009TimelineInternals:
         assert len(_suppressed(report, "GL009")) == 1
 
 
+class TestGL010ChannelBoundary:
+    def test_fires_on_direct_protocol_calls(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(broker, hold):
+                broker.prepare("ingress", 0, 0.0, 1.0, 5.0)
+                broker.commit(hold.hold_id)
+                broker.abort_hold(hold.hold_id)
+                broker.book_pair(0, 0, 0.0, 1.0, 5.0)
+            """,
+            filename="gateway/gateway.py",
+        )
+        assert len(_active(report, "GL010")) == 4
+
+    def test_fires_through_containers_and_attributes(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(self, gateway, shard, hold):
+                self._brokers[shard].commit(hold.hold_id)
+                gateway.brokers[shard].prepare("egress", 1, 0.0, 1.0, 2.0)
+            """,
+            filename="control/orchestrate.py",
+        )
+        assert len(_active(report, "GL010")) == 2
+
+    def test_channel_calls_and_non_protocol_methods_are_fine(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def f(channel, broker, journal, now):
+                channel.prepare("ingress", 0, 0.0, 1.0, 5.0, rid=1, expires=9.0, now=now)
+                channel.commit(3, now=now)
+                broker.release("ingress", 0, 0.0, 1.0, 5.0)
+                broker.expire_holds(now)
+                journal.commit()
+            """,
+            filename="gateway/gateway.py",
+        )
+        assert _active(report, "GL010") == []
+
+    def test_protocol_internals_may_call_directly(self, tmp_path):
+        source = (
+            "def f(broker, hold):\n"
+            "    broker.prepare('ingress', 0, 0.0, 1.0, 5.0)\n"
+            "    broker.commit(hold.hold_id)\n"
+        )
+        for owner in ("gateway/broker.py", "gateway/twophase.py", "gateway/rpc.py"):
+            report = _scan(tmp_path / owner.replace("/", "_"), source, filename=owner)
+            assert _active(report, "GL010") == []
+
+    def test_allowlisted_under_tests_and_benchmarks(self, tmp_path):
+        source = "def f(broker):\n    broker.book_pair(0, 0, 0.0, 1.0, 5.0)\n"
+        report = _scan(tmp_path, source, filename="tests/test_broker.py")
+        assert _active(report, "GL010") == []
+        report = _scan(tmp_path, source, filename="benchmarks/bench_gw.py")
+        assert _active(report, "GL010") == []
+
+    def test_suppression(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def f(broker, hid):\n"
+            "    broker.abort_hold(hid)"
+            "  # gridlint: disable=GL010 -- janitor tooling\n",
+            filename="obs/janitor.py",
+        )
+        assert _active(report, "GL010") == []
+        assert len(_suppressed(report, "GL010")) == 1
+
+
 class TestEndToEnd:
     def test_temp_package_with_every_violation_gates(self, tmp_path, capsys):
         """CLI over a package violating every rule: exit 1, all ids reported."""
@@ -511,6 +582,7 @@ class TestEndToEnd:
                     ledger._ingress[0] = None
                     broker._owned_ledger.allocate(0, 0, 0.0, 1.0, 5.0)
                     broker.timeline("ingress", 0)._values[0] = 99.0
+                    broker.book_pair(0, 0, 0.0, 1.0, 5.0)
                     journal.append("op", now, entry=entry)
                     entry["late"] = True
                     assert t0 >= 0
@@ -532,6 +604,7 @@ class TestEndToEnd:
             "GL007",
             "GL008",
             "GL009",
+            "GL010",
         } <= seen
 
     def test_clean_package_exits_zero(self, tmp_path, capsys):
