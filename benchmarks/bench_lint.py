@@ -1,0 +1,84 @@
+"""gridlint wall-time gate: the flow-sensitive rules must stay cheap.
+
+PR 7 added CFG construction and three dataflow fixpoints (typestate,
+taint, reaching definitions) on top of the ten single-pass AST rules.
+This bench runs the full ``src`` tree twice — once with the legacy
+catalogue (GL001–GL010, the pre-flow baseline) and once with every rule —
+and gates the ratio: flow analysis may at most *double* the lint time
+(``MAX_SLOWDOWN``).  The solver's pre-filters (verb mentions, sink
+tokens) are what keep the ratio honest: most modules never build a CFG.
+
+Also checks the ``--jobs`` parse parallelism stays report-identical, and
+writes ``benchmarks/results/BENCH_lint.json`` (a CI artifact) with the
+timings, file count and per-catalogue finding counts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import all_rules, run_analysis
+
+#: Full catalogue may cost at most this multiple of the legacy catalogue.
+MAX_SLOWDOWN = 2.0
+
+#: Ratios are noisy when both runs are fast; the gate also passes while
+#: the absolute flow overhead stays under this many seconds.
+ABSOLUTE_SLACK_S = 1.0
+
+REPEATS = 3
+
+SRC = Path(__file__).parent.parent / "src"
+
+#: The pre-flow catalogue: the ten single-pass AST rules of PRs 1–6.
+LEGACY_MAX_ID = "GL010"
+
+
+def _legacy_rules():
+    return [rule for rule in all_rules() if rule.rule_id <= LEGACY_MAX_ID]
+
+
+def _time_run(rules):
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = run_analysis([SRC], rules)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_flow_rules_stay_under_slowdown_gate(results_dir):
+    legacy_time, legacy_report = _time_run(_legacy_rules())
+    full_time, full_report = _time_run(all_rules())
+
+    # Same tree, strictly larger catalogue: scan coverage must agree.
+    assert full_report.files_scanned == legacy_report.files_scanned
+    assert full_report.findings == [], "src tree must lint clean"
+
+    slowdown = full_time / legacy_time if legacy_time > 0 else float("inf")
+    overhead = full_time - legacy_time
+    assert slowdown < MAX_SLOWDOWN or overhead < ABSOLUTE_SLACK_S, (
+        f"flow rules slowed gridlint {slowdown:.2f}x "
+        f"(legacy {legacy_time:.3f}s → full {full_time:.3f}s); "
+        f"gate is {MAX_SLOWDOWN}x"
+    )
+
+    parallel_report = run_analysis([SRC], all_rules(), jobs=4)
+    assert parallel_report.to_json() == full_report.to_json()
+
+    payload = {
+        "files_scanned": full_report.files_scanned,
+        "legacy_rules": len(_legacy_rules()),
+        "full_rules": len(all_rules()),
+        "legacy_time_s": round(legacy_time, 4),
+        "full_time_s": round(full_time, 4),
+        "slowdown": round(slowdown, 3),
+        "gate": MAX_SLOWDOWN,
+        "suppressed_findings": len(full_report.suppressed),
+    }
+    (results_dir / "BENCH_lint.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

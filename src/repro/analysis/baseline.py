@@ -1,0 +1,96 @@
+"""Committed-baseline diff mode (`--baseline analysis_baseline.json`).
+
+A baseline is a committed snapshot of the findings a tree is *known* to
+carry: CI fails only on findings that are not in it, so a new rule can
+land with its legacy debt recorded and ratcheted down over time, while
+every suppression stays visible in the diff.
+
+Findings are keyed by ``path::rule::message`` with an occurrence count —
+deliberately **not** by line number, so unrelated edits that shift code
+do not invalidate the baseline, while a genuinely new instance of a
+baselined finding (count exceeded) still fails.  Matched findings are
+moved to the report's suppressed list with the reason ``baselined`` so
+text/JSON/SARIF output keeps them auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import AnalysisReport, Finding
+
+__all__ = ["apply_baseline", "baseline_counts", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+def baseline_counts(report: AnalysisReport) -> dict[str, int]:
+    """Occurrence counts of the report's *active* findings, by key."""
+    counts: dict[str, int] = {}
+    for finding in report.findings:
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(path: str | Path, report: AnalysisReport) -> None:
+    """Snapshot ``report``'s active findings as the new baseline."""
+    payload = {
+        "version": _VERSION,
+        "tool": "gridlint",
+        "entries": dict(sorted(baseline_counts(report).items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file back into key → count form.
+
+    Raises ``ValueError`` on a malformed document (wrong version, wrong
+    shapes) so CI fails loudly instead of silently gating on nothing.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline document: {path}")
+    entries = raw.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in entries.items()
+    ):
+        raise ValueError(f"malformed baseline entries: {path}")
+    return dict(entries)
+
+
+def apply_baseline(report: AnalysisReport, baseline: dict[str, int]) -> None:
+    """Suppress (in place) findings the baseline already accounts for.
+
+    Each key silences at most its recorded count: occurrence N+1 of a
+    baselined finding is *new* debt and stays active.
+    """
+    remaining = dict(baseline)
+    still_active: list[Finding] = []
+    for finding in report.findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.suppressed.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    message=finding.message,
+                    severity=finding.severity,
+                    suppressed=True,
+                    suppress_reason="baselined",
+                )
+            )
+        else:
+            still_active.append(finding)
+    report.findings[:] = still_active
+    report.suppressed.sort()

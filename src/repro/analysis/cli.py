@@ -10,6 +10,10 @@ Machine-readable output, selected rules only::
 
     grid-lint --format json --rules GL001,GL004 src benchmarks
 
+SARIF for CI annotation, gated against the committed baseline::
+
+    grid-lint --format sarif --baseline analysis_baseline.json src
+
 Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
 """
 
@@ -19,8 +23,10 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .engine import run_analysis, validate_rule_ids
 from .rules import all_rules, rules_by_id
+from .sarif import to_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -36,7 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -54,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="list the rule catalogue and exit"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse files with N worker threads (default: serial)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in this committed baseline; only "
+        "new findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot the current active findings to FILE and exit 0",
+    )
     return parser
 
 
@@ -65,7 +91,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule_id in sorted(catalogue):
             rule = catalogue[rule_id]
-            print(f"{rule_id}  {rule.title:24s} [{rule.severity}]")
+            print(
+                f"{rule_id}  {rule.title:24s} [{rule.severity}]  {rule.doc_anchor}"
+            )
         return 0
 
     rules = all_rules()
@@ -81,13 +109,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         rules = [catalogue[rule_id] for rule_id in selected]
 
     try:
-        report = run_analysis(args.paths, rules)
+        report = run_analysis(args.paths, rules, jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"grid-lint: {exc}", file=sys.stderr)
         return 2
 
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report)
+        print(
+            f"grid-lint: wrote baseline with {len(report.findings)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"grid-lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(report, baseline)
+
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(to_sarif(report, rules))
     else:
         print(report.render_text(show_suppressed=args.show_suppressed))
     return report.exit_code

@@ -110,6 +110,10 @@ class Module:
     source: str
     tree: ast.Module
     suppressions: dict[int, Suppression] = field(default_factory=dict)
+    #: Cross-rule memo (parsed CFGs, dataflow fixpoints, …) keyed by the
+    #: computing client — rules sharing an expensive artefact stash it
+    #: here so the walk parses and solves once, not once per rule.
+    cache: dict[str, Any] = field(default_factory=dict)
 
     def suppression_for(self, line: int, rule_id: str) -> Suppression | None:
         """The suppression covering ``rule_id`` at ``line``, if any."""
@@ -157,6 +161,11 @@ class Rule:
     def finalize(self, project: Project) -> Iterable[Finding]:
         """Whole-project findings, after every module was loaded (default: none)."""
         return ()
+
+    @property
+    def doc_anchor(self) -> str:
+        """Link into ``docs/ANALYSIS.md`` for this rule's section."""
+        return f"docs/ANALYSIS.md#{self.rule_id.lower()}-{self.title}"
 
     # ------------------------------------------------------------------
     def finding(
@@ -267,6 +276,81 @@ def _parse_suppressions(source: str) -> dict[int, Suppression]:
     return suppressions
 
 
+#: Compound statements: a suppression on their (possibly multi-line)
+#: *header* covers the header span only — never the whole body.
+_COMPOUND_STMTS = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def _stmt_spans(tree: ast.Module) -> Iterator[tuple[int, int]]:
+    """Physical-line spans over which one suppression comment applies.
+
+    Simple statements span their full extent (a call broken over five
+    lines is one statement); compound statements span only their header —
+    from the ``if``/``def``/``for`` line to the line before their first
+    body statement — so a trailing comment on a multi-line condition
+    works without silencing the entire block.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        if isinstance(node, _COMPOUND_STMTS):
+            first_body: int | None = None
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    first_body = child.lineno
+                    break
+                if isinstance(child, ast.ExceptHandler | ast.match_case):
+                    first_body = child.lineno
+                    break
+            end = (first_body - 1) if first_body is not None else start
+        else:
+            end = node.end_lineno or start
+        if end > start:
+            yield start, end
+
+
+def _expand_suppressions(
+    tree: ast.Module, suppressions: dict[int, Suppression]
+) -> dict[int, Suppression]:
+    """Make a suppression anywhere in a statement span cover every line.
+
+    Rules report findings at the node that fired — for a multi-line call
+    that may be any physical line of the statement, while the disable
+    comment necessarily sits on just one of them.  Each line of the span
+    without its own comment inherits the span's (first) suppression.
+    """
+    if not suppressions:
+        return suppressions
+    expanded = dict(suppressions)
+    for start, end in _stmt_spans(tree):
+        span_sup = next(
+            (
+                suppressions[line]
+                for line in range(start, end + 1)
+                if line in suppressions
+            ),
+            None,
+        )
+        if span_sup is None:
+            continue
+        for line in range(start, end + 1):
+            expanded.setdefault(line, span_sup)
+    return expanded
+
+
 def _relpath(path: Path, roots: Sequence[Path]) -> str:
     resolved = path.resolve()
     for root in roots:
@@ -295,12 +379,13 @@ def load_module(path: Path, roots: Sequence[Path] = ()) -> Module | Finding:
             message=f"file does not parse: {exc}",
             severity="error",
         )
+    suppressions = _expand_suppressions(tree, _parse_suppressions(source))
     return Module(
         path=path,
         relpath=relpath,
         source=source,
         tree=tree,
-        suppressions=_parse_suppressions(source),
+        suppressions=suppressions,
     )
 
 
@@ -310,17 +395,34 @@ def load_module(path: Path, roots: Sequence[Path] = ()) -> Module | Finding:
 def run_analysis(
     paths: Sequence[str | Path],
     rules: Sequence[Rule],
+    *,
+    jobs: int | None = None,
 ) -> AnalysisReport:
     """Scan ``paths`` with ``rules`` and collect a report.
 
     Findings on lines carrying a matching ``# gridlint: disable=`` comment
     are moved to the report's ``suppressed`` list rather than dropped.
+
+    ``jobs`` parallelises the read-and-parse stage over a thread pool
+    (``None``/``1`` stays serial).  ``executor.map`` preserves the sorted
+    walk order, so reports are byte-identical at any parallelism — each
+    module is parsed once and its AST shared by every rule via
+    :attr:`Module.cache`.
     """
     roots = [Path(p) for p in paths]
     report = AnalysisReport(rules_run=[rule.rule_id for rule in rules])
     project = Project()
-    for path in iter_python_files(paths):
-        loaded = load_module(path, roots)
+    files = list(iter_python_files(paths))
+    if jobs is not None and jobs > 1 and len(files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            loaded_modules = list(
+                pool.map(lambda path: load_module(path, roots), files)
+            )
+    else:
+        loaded_modules = [load_module(path, roots) for path in files]
+    for loaded in loaded_modules:
         if isinstance(loaded, Finding):
             report.findings.append(loaded)
             report.files_scanned += 1

@@ -1,0 +1,520 @@
+"""Per-function control-flow graphs over ``ast``.
+
+One :class:`CFG` per function: one node per *simple* statement or compound
+header (the ``if``/``while``/``for``/``with``/``match``/``try`` line), plus
+three markers — ``entry``, ``exit`` (normal return or fall-off) and
+``raise`` (an exception leaves the function).  Edges carry a kind:
+
+- ``normal`` — sequential flow;
+- ``true`` / ``false`` — the two sides of a branch head (``if``/``while``/
+  ``for`` enter-vs-exhaust, ``match`` case-taken-vs-no-match);
+- ``exc`` — the statement raised and control transferred to a handler,
+  a ``finally`` block, or out of the function.
+
+Covered constructs: ``if``/``elif``/``else``, ``for``/``else``,
+``while``/``else``, ``try``/``except``/``else``/``finally`` (returns,
+breaks and continues are routed *through* enclosing ``finally`` blocks),
+``with``, ``match``, ``return``/``raise``/``break``/``continue``, and
+``assert``.  Deliberate over-approximations, chosen so the dataflow
+clients stay sound-for-leaks but quiet:
+
+- boolean operators and comprehensions stay inside their statement node
+  (no intra-expression short-circuit edges); their effects are joined;
+- a shared ``finally`` block is built once and its exits fan out to every
+  recorded continuation (normal, exceptional, return, break/continue) —
+  infeasible path combinations are accepted;
+- every ``except`` handler is a candidate target for every exception in
+  the ``try`` body; unless a handler catches everything (bare ``except``,
+  ``Exception``/``BaseException``), the exception may also slip past the
+  handlers and propagate outward.
+
+Which statements can raise is pluggable (``can_raise``): the default
+treats any statement containing a call, attribute access or subscript as
+a potential raiser; the typestate rules narrow this to protocol verbs so
+an unrelated ``log(x)`` between ``prepare`` and ``commit`` does not
+manufacture a phantom leak path (see ``docs/FLOW.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterator
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Edge",
+    "EXC",
+    "FALSE",
+    "NORMAL",
+    "TRUE",
+    "build_cfg",
+    "function_cfgs",
+    "syntactic_can_raise",
+]
+
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+#: A function whose CFG can be built.
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Statement kinds whose own body lines get their own nodes — only the
+#: header expressions belong to the compound statement's node.
+_COMPOUND = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions evaluated by a compound statement's header line."""
+    if isinstance(stmt, ast.If | ast.While):
+        return [stmt.test]
+    if isinstance(stmt, ast.For | ast.AsyncFor):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, ast.With | ast.AsyncWith):
+        exprs: list[ast.expr] = []
+        for item in stmt.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        return exprs
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+def stmt_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Every AST node this CFG node evaluates.
+
+    Simple statements yield their whole subtree; compound statements
+    yield only their header expressions (the body belongs to other
+    nodes); nested function/class definitions yield nothing (their body
+    runs elsewhere).
+    """
+    if isinstance(stmt, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef):
+        return
+    if isinstance(stmt, _COMPOUND):
+        for expr in _header_exprs(stmt):
+            yield from ast.walk(expr)
+        return
+    yield from ast.walk(stmt)
+
+
+def syntactic_can_raise(stmt: ast.stmt) -> bool:
+    """Default raise filter: calls, attribute access and subscripts raise."""
+    if isinstance(stmt, ast.Raise | ast.Assert):
+        return True
+    return any(
+        isinstance(node, ast.Call | ast.Attribute | ast.Subscript)
+        for node in stmt_exprs(stmt)
+    )
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed edge ``src → dst`` with its kind."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, or an ``entry``/``exit``/``raise`` marker."""
+
+    nid: int
+    stmt: ast.stmt | None = None
+    marker: str | None = None
+
+    @property
+    def label(self) -> str:
+        """``StmtType:line`` for statements; the marker name otherwise."""
+        if self.marker is not None:
+            return self.marker
+        if self.stmt is None:  # pragma: no cover - constructor invariant
+            raise ValueError(f"node {self.nid} has neither stmt nor marker")
+        return f"{type(self.stmt).__name__}:{self.stmt.lineno}"
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    name: str
+    func: FunctionNode
+    nodes: list[CFGNode]
+    edges: list[Edge]
+    entry: int
+    exit: int
+    raise_exit: int
+    _succs: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
+    _preds: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for node in self.nodes:
+            self._succs.setdefault(node.nid, [])
+            self._preds.setdefault(node.nid, [])
+        for edge in self.edges:
+            self._succs[edge.src].append(edge)
+            self._preds[edge.dst].append(edge)
+
+    def succs(self, nid: int) -> list[Edge]:
+        """Outgoing edges of ``nid``."""
+        return self._succs[nid]
+
+    def preds(self, nid: int) -> list[Edge]:
+        """Incoming edges of ``nid``."""
+        return self._preds[nid]
+
+    def node(self, nid: int) -> CFGNode:
+        """The node with id ``nid``."""
+        return self.nodes[nid]
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        """Every non-marker node."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def edge_set(self) -> set[tuple[str, str, str]]:
+        """``{(src_label, dst_label, kind)}`` — the hand-checkable form."""
+        return {
+            (self.nodes[e.src].label, self.nodes[e.dst].label, e.kind)
+            for e in self.edges
+        }
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+#: A dangling edge waiting for its destination: ``(source node, kind)``.
+_Pending = tuple[int, str]
+
+
+@dataclass
+class _LoopCtx:
+    token: int
+    header: int
+    breaks: list[_Pending] = field(default_factory=list)
+
+
+@dataclass
+class _FinallyCtx:
+    token: int
+    #: Exceptions raised under this ``try`` that must run the finally.
+    exc_in: list[_Pending] = field(default_factory=list)
+    #: Returns / breaks / continues intercepted on their way out.
+    inflows: list[_Pending] = field(default_factory=list)
+    saw_return: bool = False
+    saw_exc: bool = False
+    #: Loops targeted by intercepted breaks / continues.
+    break_loops: list[_LoopCtx] = field(default_factory=list)
+    continue_loops: list[_LoopCtx] = field(default_factory=list)
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: list[str] = []
+    for node in ast.walk(handler.type):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _irrefutable(case: ast.match_case) -> bool:
+    if case.guard is not None:
+        return False
+    pattern = case.pattern
+    return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode, can_raise: Callable[[ast.stmt], bool]) -> None:
+        self.func = func
+        self.can_raise = can_raise
+        self.nodes: list[CFGNode] = []
+        self.edges: set[Edge] = set()
+        self.entry = self._marker("entry")
+        self.exit = self._marker("exit")
+        self.raise_exit = self._marker("raise")
+        #: Innermost-last stack of exception collectors.  Each entry is a
+        #: plain list (a ``try`` body's route to its handlers) or a
+        #: :class:`_FinallyCtx` (exceptions must run the finally first).
+        self._frames: list[list[_Pending] | _FinallyCtx] = []
+        self._loops: list[_LoopCtx] = []
+        self._finallies: list[_FinallyCtx] = []
+        self._token = 0
+
+    # -- plumbing -------------------------------------------------------
+    def _marker(self, name: str) -> int:
+        node = CFGNode(nid=len(self.nodes), marker=name)
+        self.nodes.append(node)
+        return node.nid
+
+    def _next_token(self) -> int:
+        self._token += 1
+        return self._token
+
+    def _connect(self, pendings: list[_Pending], dst: int) -> None:
+        for src, kind in pendings:
+            self.edges.add(Edge(src, dst, kind))
+
+    def _stmt_node(self, stmt: ast.stmt, incoming: list[_Pending]) -> int:
+        node = CFGNode(nid=len(self.nodes), stmt=stmt)
+        self.nodes.append(node)
+        self._connect(incoming, node.nid)
+        return node.nid
+
+    def _emit_exc(self, pendings: list[_Pending]) -> None:
+        """Route exception edges to the innermost frame (or out)."""
+        if not pendings:
+            return
+        if self._frames:
+            frame = self._frames[-1]
+            if isinstance(frame, _FinallyCtx):
+                frame.exc_in.extend(pendings)
+                frame.saw_exc = True
+            else:
+                frame.extend(pendings)
+        else:
+            self._connect(pendings, self.raise_exit)
+
+    def _emit_return(self, pendings: list[_Pending]) -> None:
+        """A return: run every enclosing finally, then reach ``exit``."""
+        if self._finallies:
+            ctx = self._finallies[-1]
+            ctx.inflows.extend(pendings)
+            ctx.saw_return = True
+        else:
+            self._connect(pendings, self.exit)
+
+    def _emit_break(self, loop: _LoopCtx, pendings: list[_Pending]) -> None:
+        """A break targeting ``loop``: finallies inside the loop run first."""
+        inner = [f for f in self._finallies if f.token > loop.token]
+        if inner:
+            ctx = inner[-1]
+            ctx.inflows.extend(pendings)
+            ctx.break_loops.append(loop)
+        else:
+            loop.breaks.extend(pendings)
+
+    def _emit_continue(self, loop: _LoopCtx, pendings: list[_Pending]) -> None:
+        inner = [f for f in self._finallies if f.token > loop.token]
+        if inner:
+            ctx = inner[-1]
+            ctx.inflows.extend(pendings)
+            ctx.continue_loops.append(loop)
+        else:
+            self._connect(pendings, loop.header)
+
+    # -- driver ---------------------------------------------------------
+    def build(self) -> CFG:
+        out = self._build_body(self.func.body, [(self.entry, NORMAL)])
+        self._connect(out, self.exit)
+        return CFG(
+            name=self.func.name,
+            func=self.func,
+            nodes=self.nodes,
+            edges=sorted(self.edges, key=lambda e: (e.src, e.dst, e.kind)),
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+    def _build_body(
+        self, body: list[ast.stmt], incoming: list[_Pending]
+    ) -> list[_Pending]:
+        out = incoming
+        for stmt in body:
+            if not out:
+                # Unreachable code after return/raise/break: still build
+                # nodes (rules may inspect them) but leave them orphaned.
+                out = []
+            out = self._build_stmt(stmt, out)
+        return out
+
+    def _build_stmt(self, stmt: ast.stmt, incoming: list[_Pending]) -> list[_Pending]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, incoming)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, incoming)
+        if isinstance(stmt, ast.For | ast.AsyncFor):
+            return self._build_for(stmt, incoming)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, incoming)
+        if isinstance(stmt, ast.With | ast.AsyncWith):
+            return self._build_with(stmt, incoming)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, incoming)
+        if isinstance(stmt, ast.Return):
+            nid = self._stmt_node(stmt, incoming)
+            self._maybe_exc(stmt, nid)
+            self._emit_return([(nid, NORMAL)])
+            return []
+        if isinstance(stmt, ast.Raise):
+            nid = self._stmt_node(stmt, incoming)
+            self._emit_exc([(nid, EXC)])
+            return []
+        if isinstance(stmt, ast.Break):
+            nid = self._stmt_node(stmt, incoming)
+            self._emit_break(self._loops[-1], [(nid, NORMAL)])
+            return []
+        if isinstance(stmt, ast.Continue):
+            nid = self._stmt_node(stmt, incoming)
+            self._emit_continue(self._loops[-1], [(nid, NORMAL)])
+            return []
+        # Simple statement (incl. nested def/class headers).
+        nid = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, nid)
+        return [(nid, NORMAL)]
+
+    def _maybe_exc(self, stmt: ast.stmt, nid: int) -> None:
+        if self.can_raise(stmt):
+            self._emit_exc([(nid, EXC)])
+
+    # -- compounds ------------------------------------------------------
+    def _build_if(self, stmt: ast.If, incoming: list[_Pending]) -> list[_Pending]:
+        head = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, head)
+        out = self._build_body(stmt.body, [(head, TRUE)])
+        if stmt.orelse:
+            out = out + self._build_body(stmt.orelse, [(head, FALSE)])
+        else:
+            out = out + [(head, FALSE)]
+        return out
+
+    def _build_while(self, stmt: ast.While, incoming: list[_Pending]) -> list[_Pending]:
+        head = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, head)
+        loop = _LoopCtx(token=self._next_token(), header=head)
+        self._loops.append(loop)
+        body_out = self._build_body(stmt.body, [(head, TRUE)])
+        self._loops.pop()
+        self._connect(body_out, head)
+        infinite = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        out: list[_Pending] = []
+        if not infinite:
+            if stmt.orelse:
+                out = self._build_body(stmt.orelse, [(head, FALSE)])
+            else:
+                out = [(head, FALSE)]
+        return out + loop.breaks
+
+    def _build_for(
+        self, stmt: ast.For | ast.AsyncFor, incoming: list[_Pending]
+    ) -> list[_Pending]:
+        head = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, head)
+        loop = _LoopCtx(token=self._next_token(), header=head)
+        self._loops.append(loop)
+        body_out = self._build_body(stmt.body, [(head, TRUE)])
+        self._loops.pop()
+        self._connect(body_out, head)
+        if stmt.orelse:
+            out = self._build_body(stmt.orelse, [(head, FALSE)])
+        else:
+            out = [(head, FALSE)]
+        return out + loop.breaks
+
+    def _build_with(
+        self, stmt: ast.With | ast.AsyncWith, incoming: list[_Pending]
+    ) -> list[_Pending]:
+        head = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, head)
+        return self._build_body(stmt.body, [(head, NORMAL)])
+
+    def _build_match(self, stmt: ast.Match, incoming: list[_Pending]) -> list[_Pending]:
+        head = self._stmt_node(stmt, incoming)
+        self._maybe_exc(stmt, head)
+        out: list[_Pending] = []
+        for case in stmt.cases:
+            out += self._build_body(case.body, [(head, TRUE)])
+        if not any(_irrefutable(case) for case in stmt.cases):
+            out.append((head, FALSE))
+        return out
+
+    def _build_try(self, stmt: ast.Try, incoming: list[_Pending]) -> list[_Pending]:
+        fctx: _FinallyCtx | None = None
+        if stmt.finalbody:
+            fctx = _FinallyCtx(token=self._next_token())
+            self._finallies.append(fctx)
+            self._frames.append(fctx)
+        body_exc: list[_Pending] = []
+        if stmt.handlers:
+            self._frames.append(body_exc)
+        body_out = self._build_body(stmt.body, incoming)
+        if stmt.handlers:
+            self._frames.pop()
+        # The else block runs only after a clean body; its exceptions are
+        # not caught by this try's handlers.
+        out = self._build_body(stmt.orelse, body_out) if stmt.orelse else body_out
+        ends = list(out)
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                ends += self._build_body(handler.body, list(body_exc))
+            if not any(_catches_everything(h) for h in stmt.handlers):
+                # The exception may match none of the handlers.
+                self._emit_exc(body_exc)
+        if fctx is None:
+            return ends
+        self._finallies.pop()
+        self._frames.pop()
+        return self._build_finally(stmt, fctx, ends)
+
+    def _build_finally(
+        self, stmt: ast.Try, fctx: _FinallyCtx, ends: list[_Pending]
+    ) -> list[_Pending]:
+        fin_in = ends + fctx.exc_in + fctx.inflows
+        if not fin_in:  # pragma: no cover - body cannot be empty
+            return []
+        f_out = self._build_body(stmt.finalbody, fin_in)
+        if fctx.saw_exc:
+            self._emit_exc([(src, EXC) for src, _ in f_out])
+        if fctx.saw_return:
+            self._emit_return([(src, NORMAL) for src, _ in f_out])
+        for loop in fctx.break_loops:
+            self._emit_break(loop, [(src, NORMAL) for src, _ in f_out])
+        for loop in fctx.continue_loops:
+            self._emit_continue(loop, [(src, NORMAL) for src, _ in f_out])
+        # Normal continuation exists only if some path completed the try.
+        return f_out if ends else []
+
+
+def build_cfg(
+    func: FunctionNode,
+    *,
+    can_raise: Callable[[ast.stmt], bool] = syntactic_can_raise,
+) -> CFG:
+    """Build the CFG of one function definition."""
+    return _Builder(func, can_raise).build()
+
+
+def function_cfgs(
+    tree: ast.AST,
+    *,
+    can_raise: Callable[[ast.stmt], bool] = syntactic_can_raise,
+) -> list[CFG]:
+    """CFGs for every function (at any nesting depth) under ``tree``."""
+    cfgs: list[CFG] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+            cfgs.append(build_cfg(node, can_raise=can_raise))
+    return cfgs

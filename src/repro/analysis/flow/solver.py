@@ -1,0 +1,256 @@
+"""Generic worklist dataflow solver plus two library passes.
+
+The solver is lattice-agnostic: an :class:`Analysis` supplies the
+boundary state, the join, and a per-node transfer function; the solver
+iterates to a fixpoint over a :class:`~repro.analysis.flow.cfg.CFG`.
+States must be immutable values with structural equality (frozensets of
+tuples throughout this package) — convergence is detected by ``==``.
+
+Edge sensitivity hooks keep the clients precise without complicating the
+core loop:
+
+- :meth:`Analysis.transfer_exc` produces the state carried by ``exc``
+  edges (default: same as the normal transfer).  Typestate uses it to
+  model partial execution — an acquisition that raised never happened;
+- :meth:`Analysis.refine` post-filters the state on ``true``/``false``
+  edges (default: identity).  Typestate uses it for ``is None`` guards.
+
+Library passes:
+
+- :func:`reaching_definitions` — forward may-analysis mapping each node
+  to the ``(variable, defining node)`` pairs that may reach it;
+- :func:`liveness` — backward may-analysis; ``before[nid]`` holds the
+  variables live *out of* a node (the state flowing into it against the
+  control-flow direction), ``after(nid)`` the variables live into it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from .cfg import CFG, EXC, CFGNode, stmt_exprs
+
+__all__ = [
+    "Analysis",
+    "DataflowResult",
+    "assigned_names",
+    "used_names",
+    "liveness",
+    "reaching_definitions",
+    "solve",
+]
+
+S = TypeVar("S")
+
+
+class Analysis(Generic[S]):
+    """One dataflow problem: lattice + transfer functions.
+
+    ``direction`` is ``"forward"`` (states propagate entry → exit) or
+    ``"backward"`` (exit → entry; ``transfer_exc``/``refine`` are not
+    consulted backward — exception and branch sensitivity are forward
+    notions here).
+    """
+
+    direction: str = "forward"
+
+    def initial(self) -> S:
+        """The boundary state (at ``entry`` forward, exits backward)."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """The least state (identity of :meth:`join`)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        """State after executing ``node`` normally."""
+        raise NotImplementedError
+
+    def transfer_exc(self, node: CFGNode, state: S) -> S:
+        """State carried by ``exc`` edges out of ``node``."""
+        return self.transfer(node, state)
+
+    def refine(self, kind: str, node: CFGNode, state: S) -> S:
+        """Post-filter for ``true``/``false`` edges out of a branch head."""
+        return state
+
+
+class DataflowResult(Generic[S]):
+    """Fixpoint states.
+
+    ``before[nid]`` is the join over the edges arriving *in analysis
+    direction*: the classic in-state for forward problems, the out-state
+    (e.g. live-out) for backward ones.  ``after(nid)`` applies the node's
+    transfer to it.
+    """
+
+    def __init__(self, cfg: CFG, analysis: Analysis[S], before: dict[int, S]) -> None:
+        self.cfg = cfg
+        self.analysis = analysis
+        self.before = before
+
+    def after(self, nid: int) -> S:
+        """``transfer`` applied to ``before[nid]``."""
+        return self.analysis.transfer(self.cfg.node(nid), self.before[nid])
+
+
+def solve(cfg: CFG, analysis: Analysis[S]) -> DataflowResult[S]:
+    """Run ``analysis`` over ``cfg`` to a fixpoint (worklist iteration)."""
+    forward = analysis.direction == "forward"
+    if forward:
+        boundary = [cfg.entry]
+        edges_into = cfg.preds
+        edges_from = cfg.succs
+    else:
+        boundary = [cfg.exit, cfg.raise_exit]
+        edges_into = cfg.succs
+        edges_from = cfg.preds
+
+    before: dict[int, S] = {n.nid: analysis.bottom() for n in cfg.nodes}
+    for nid in boundary:
+        before[nid] = analysis.initial()
+
+    def edge_state(edge_src: int, kind: str) -> S:
+        node = cfg.node(edge_src)
+        state = before[edge_src]
+        if node.stmt is None:
+            return state  # markers are identity
+        if forward and kind == EXC:
+            return analysis.transfer_exc(node, state)
+        out = analysis.transfer(node, state)
+        if forward:
+            out = analysis.refine(kind, node, out)
+        return out
+
+    work = [n.nid for n in cfg.nodes]
+    while work:
+        nid = work.pop()
+        if nid in boundary:
+            continue
+        incoming = edges_into(nid)
+        state = analysis.bottom()
+        for edge in incoming:
+            src = edge.src if forward else edge.dst
+            state = analysis.join(state, edge_state(src, edge.kind))
+        if state == before[nid]:
+            continue
+        before[nid] = state
+        for edge in edges_from(nid):
+            work.append(edge.dst if forward else edge.src)
+    return DataflowResult(cfg, analysis, before)
+
+
+# ----------------------------------------------------------------------
+# Name extraction shared by the library passes
+# ----------------------------------------------------------------------
+def _target_names(target: ast.expr) -> Iterator[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def assigned_names(stmt: ast.stmt) -> set[str]:
+    """Every local name this CFG node (re)binds."""
+    names: set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name | ast.Tuple | ast.List | ast.Starred):
+                names.update(_target_names(target))
+    elif isinstance(stmt, ast.AnnAssign | ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    elif isinstance(stmt, ast.For | ast.AsyncFor):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, ast.With | ast.AsyncWith):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(_target_names(item.optional_vars))
+    elif isinstance(stmt, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef):
+        names.add(stmt.name)
+    elif isinstance(stmt, ast.Import | ast.ImportFrom):
+        for alias in stmt.names:
+            names.add((alias.asname or alias.name).split(".")[0])
+    # Walrus targets bind wherever the expression is evaluated.
+    for node in stmt_exprs(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def used_names(stmt: ast.stmt) -> set[str]:
+    """Every name this CFG node reads (loads, header-only for compounds)."""
+    return {
+        node.id
+        for node in stmt_exprs(stmt)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+#: One reaching definition: ``(variable, defining node id)``.
+ReachingDefs = frozenset[tuple[str, int]]
+
+
+class _ReachingDefs(Analysis[ReachingDefs]):
+    direction = "forward"
+
+    def initial(self) -> ReachingDefs:
+        return frozenset()
+
+    def bottom(self) -> ReachingDefs:
+        return frozenset()
+
+    def join(self, a: ReachingDefs, b: ReachingDefs) -> ReachingDefs:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: ReachingDefs) -> ReachingDefs:
+        if node.stmt is None:
+            return state
+        defined = assigned_names(node.stmt)
+        if not defined:
+            return state
+        kept = frozenset(pair for pair in state if pair[0] not in defined)
+        return kept | frozenset((name, node.nid) for name in defined)
+
+    def transfer_exc(self, node: CFGNode, state: ReachingDefs) -> ReachingDefs:
+        # On the exception edge the assignment may or may not have
+        # happened: keep both possibilities (may-analysis).
+        return state | self.transfer(node, state)
+
+
+def reaching_definitions(cfg: CFG) -> DataflowResult[ReachingDefs]:
+    """May-reaching ``(var, def-node)`` pairs before each node."""
+    return solve(cfg, _ReachingDefs())
+
+
+LiveVars = frozenset[str]
+
+
+class _Liveness(Analysis[LiveVars]):
+    direction = "backward"
+
+    def initial(self) -> LiveVars:
+        return frozenset()
+
+    def bottom(self) -> LiveVars:
+        return frozenset()
+
+    def join(self, a: LiveVars, b: LiveVars) -> LiveVars:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: LiveVars) -> LiveVars:
+        if node.stmt is None:
+            return state
+        return (state - frozenset(assigned_names(node.stmt))) | frozenset(
+            used_names(node.stmt)
+        )
+
+
+def liveness(cfg: CFG) -> DataflowResult[LiveVars]:
+    """Backward liveness: ``before[nid]`` = live-out, ``after(nid)`` = live-in."""
+    return solve(cfg, _Liveness())

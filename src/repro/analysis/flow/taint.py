@@ -1,0 +1,242 @@
+"""Intraprocedural taint lattice with a one-level call summary table.
+
+A *source predicate* maps a resolved callable origin (what
+:class:`~repro.analysis.rules._common.ImportTracker` produces, e.g.
+``"time.time"``) to a taint label, or ``None``.  The analysis then
+propagates labels through assignments, arithmetic, f-strings, container
+literals and method chains: the taint of an expression is the union of
+the labels of every source call and every tainted name inside it.
+
+Interprocedural precision is deliberately shallow: before the dataflow
+pass, :func:`module_summaries` scans every function defined in the module
+and records those whose *return value* derives from a source (computed
+with a flow-insensitive local fixpoint).  Calls to a summarised function
+then act as sources themselves — one level deep, no transitive closure,
+exactly the "one-level call summary table" trade: it catches the
+ubiquitous ``def _now(): return time.time()`` wrapper without the cost
+or the false-positive surface of a whole-program analysis.
+
+Conservative choices: attribute/subscript stores taint the base variable
+(``x.a = tainted`` taints ``x``); ``del`` and plain rebinding clear a
+name; exception edges carry the same state as normal ones (taint has no
+partial-execution subtlety worth modelling).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..rules._common import ImportTracker, dotted_name
+from .cfg import CFG, CFGNode
+from .solver import Analysis, DataflowResult, solve
+
+__all__ = ["ModuleTaint", "TaintState", "module_summaries"]
+
+#: ``(variable, label)`` pairs; label names the origin, e.g. "time.time".
+TaintState = frozenset[tuple[str, str]]
+
+SourceFn = Callable[[str | None], str | None]
+
+
+def _call_labels(
+    expr: ast.AST,
+    tracker: ImportTracker,
+    source_of: SourceFn,
+    summaries: dict[str, frozenset[str]],
+) -> set[str]:
+    """Labels contributed by source calls (direct or summarised) in ``expr``."""
+    labels: set[str] = set()
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = tracker.resolve(node.func)
+        label = source_of(origin)
+        if label is not None:
+            labels.add(label)
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            # `self.helper()` and plain `helper()` both hit the summary
+            # of a function defined in this module.
+            key = dotted.split(".")[-1]
+            if key in summaries:
+                labels.update(summaries[key])
+    return labels
+
+
+def _local_return_taint(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    tracker: ImportTracker,
+    source_of: SourceFn,
+) -> frozenset[str]:
+    """Flow-insensitive: labels the function's return value may carry."""
+    tainted: dict[str, set[str]] = {}
+    empty: dict[str, frozenset[str]] = {}
+
+    def expr_labels(expr: ast.AST) -> set[str]:
+        labels = _call_labels(expr, tracker, source_of, empty)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                labels.update(tainted[node.id])
+        return labels
+
+    changed = True
+    while changed:
+        changed = False
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign | ast.AnnAssign | ast.AugAssign):
+                value = stmt.value
+                if value is None:
+                    continue
+                labels = expr_labels(value)
+                if not labels:
+                    continue
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            prior = tainted.setdefault(node.id, set())
+                            if not labels <= prior:
+                                prior.update(labels)
+                                changed = True
+    returned: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            returned.update(expr_labels(node.value))
+    return frozenset(returned)
+
+
+def module_summaries(
+    tree: ast.Module, tracker: ImportTracker, source_of: SourceFn
+) -> dict[str, frozenset[str]]:
+    """Functions in ``tree`` whose return value derives from a source.
+
+    One level only: summaries are computed against the raw sources, so a
+    wrapper-of-a-wrapper is not followed.  Keyed by bare function name.
+    """
+    summaries: dict[str, frozenset[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+            labels = _local_return_taint(node, tracker, source_of)
+            if labels:
+                summaries[node.name] = labels
+    return summaries
+
+
+@dataclass
+class _TaintAnalysis(Analysis[TaintState]):
+    tracker: ImportTracker
+    source_of: SourceFn
+    summaries: dict[str, frozenset[str]]
+    direction: str = "forward"
+
+    def initial(self) -> TaintState:
+        return frozenset()
+
+    def bottom(self) -> TaintState:
+        return frozenset()
+
+    def join(self, a: TaintState, b: TaintState) -> TaintState:
+        return a | b
+
+    # ------------------------------------------------------------------
+    def expr_taint(self, expr: ast.AST, state: TaintState) -> frozenset[str]:
+        """The labels ``expr`` may carry under ``state``."""
+        labels = _call_labels(expr, self.tracker, self.source_of, self.summaries)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                for var, label in state:
+                    if var == node.id:
+                        labels.add(label)
+        return frozenset(labels)
+
+    def transfer(self, node: CFGNode, state: TaintState) -> TaintState:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        if isinstance(stmt, ast.Assign | ast.AnnAssign | ast.AugAssign):
+            return self._transfer_assign(stmt, state)
+        if isinstance(stmt, ast.For | ast.AsyncFor):
+            labels = self.expr_taint(stmt.iter, state)
+            return self._bind_targets([stmt.target], labels, state)
+        if isinstance(stmt, ast.With | ast.AsyncWith):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    labels = self.expr_taint(item.context_expr, state)
+                    state = self._bind_targets([item.optional_vars], labels, state)
+            return state
+        if isinstance(stmt, ast.Delete):
+            killed = {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+            return frozenset(p for p in state if p[0] not in killed)
+        return state
+
+    def _transfer_assign(
+        self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign, state: TaintState
+    ) -> TaintState:
+        if stmt.value is None:
+            return state
+        labels = self.expr_taint(stmt.value, state)
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            # x += e keeps x's old taint and adds e's.
+            labels = labels | self.expr_taint(stmt.target, state)
+        return self._bind_targets(targets, labels, state)
+
+    def _bind_targets(
+        self, targets: list[ast.expr], labels: frozenset[str], state: TaintState
+    ) -> TaintState:
+        names: set[str] = set()
+        based: set[str] = set()
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    if isinstance(node.ctx, ast.Store):
+                        names.add(node.id)
+                    else:
+                        # x[i] = e / x.a = e: the container/base is `x`
+                        # in Load context inside the target.
+                        based.add(node.id)
+        kept = frozenset(p for p in state if p[0] not in names)
+        if not labels:
+            # Stores into a base keep its old taint; plain rebinds clear.
+            return kept
+        fresh = {(name, label) for name in names | based for label in labels}
+        return kept | frozenset(fresh)
+
+
+class ModuleTaint:
+    """Taint facts for one module: summaries + per-function fixpoints."""
+
+    def __init__(
+        self, tree: ast.Module, tracker: ImportTracker, source_of: SourceFn
+    ) -> None:
+        self.tracker = tracker
+        self.source_of = source_of
+        self.summaries = module_summaries(tree, tracker, source_of)
+        self._analysis = _TaintAnalysis(
+            tracker=tracker, source_of=source_of, summaries=self.summaries
+        )
+
+    def analyze(self, cfg: CFG) -> DataflowResult[TaintState]:
+        """Solve the taint fixpoint over one function's CFG."""
+        return solve(cfg, self._analysis)
+
+    def taint_of(
+        self, expr: ast.AST, state: TaintState
+    ) -> frozenset[str]:
+        """Labels ``expr`` may carry given the in-state of its node."""
+        return self._analysis.expr_taint(expr, state)
+
+    def header_state(
+        self, result: DataflowResult[TaintState], node: CFGNode
+    ) -> TaintState:
+        """The state in which ``node``'s own expressions evaluate."""
+        return result.before[node.nid]

@@ -18,6 +18,10 @@ from .asserts import NoAssertRule
 from .shard_ledger import ShardLedgerRule
 from .timeline_internals import TimelineInternalsRule
 from .channel_boundary import ChannelBoundaryRule
+from .hold_leak import HoldLeakRule
+from .twophase_order import TwoPhaseOrderRule
+from .nondet_taint import NondetTaintRule
+from .shard_aliasing import ShardAliasingRule
 
 __all__ = ["all_rules", "default_rules", "rules_by_id"]
 
@@ -32,6 +36,10 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     ShardLedgerRule,
     TimelineInternalsRule,
     ChannelBoundaryRule,
+    HoldLeakRule,
+    TwoPhaseOrderRule,
+    NondetTaintRule,
+    ShardAliasingRule,
 )
 
 

@@ -1,0 +1,56 @@
+"""The two-phase admission protocol as a typestate spec, shared by GL011/GL012.
+
+One :class:`~repro.analysis.flow.typestate.ResourceSpec` describes the
+gateway's hold lifecycle: ``prepare`` acquires a hold, ``commit`` /
+``abort_hold`` resolve it, and a ``key=`` keyword marks the resolution
+idempotent (answered from the broker's recorded-result table on replay).
+
+Both rules need the same per-function typestate fixpoints, so the results
+are memoised on :attr:`repro.analysis.engine.Module.cache` — the solver
+runs once per module regardless of how many rules consume it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Module
+from ..flow.cfg import CFG, build_cfg
+from ..flow.typestate import (
+    ResourceSpec,
+    TypestateEvent,
+    check_function,
+    spec_can_raise,
+)
+
+__all__ = ["TWO_PHASE_SPEC", "twophase_results"]
+
+#: The gateway's hold lifecycle (see ``docs/GATEWAY.md``): holds granted
+#: by ``prepare`` must reach ``commit`` or ``abort_hold`` on every path.
+TWO_PHASE_SPEC = ResourceSpec(
+    acquire=frozenset({"prepare"}),
+    release=frozenset({"commit", "abort_hold"}),
+    idempotent_kwarg="key",
+)
+
+_CACHE_KEY = "twophase_results"
+
+
+def twophase_results(module: Module) -> list[tuple[CFG, list[TypestateEvent]]]:
+    """Typestate events for every function of ``module`` (memoised)."""
+    cached = module.cache.get(_CACHE_KEY)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    results: list[tuple[CFG, list[TypestateEvent]]] = []
+    # Cheap pre-filter: a module that never utters an acquire verb cannot
+    # produce events, and most modules do not.
+    if any(verb in module.source for verb in TWO_PHASE_SPEC.acquire):
+        can_raise = spec_can_raise(TWO_PHASE_SPEC)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+                cfg = build_cfg(node, can_raise=can_raise)
+                events = check_function(cfg, TWO_PHASE_SPEC)
+                if events:
+                    results.append((cfg, events))
+    module.cache[_CACHE_KEY] = results
+    return results

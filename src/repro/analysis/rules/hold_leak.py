@@ -1,0 +1,63 @@
+"""GL011 — every ``prepare()`` hold must be resolved on every path.
+
+The admission gateway runs presumed-abort two-phase commit: ``prepare``
+reserves real capacity on a channel shard, and only ``commit`` /
+``abort_hold`` (or an explicit ownership transfer) lets go of it.  A hold
+that can reach function exit unresolved — on a normal *or* an exception
+path — silently shrinks admissible throughput until the TTL sweep notices
+(cf. advance-reservation admission in PAPERS.md: a leaked reservation is
+capacity nobody can ever book).
+
+Flow-sensitive: the rule walks the function's CFG (exception edges
+included) with the typestate checker from
+:mod:`repro.analysis.flow.typestate`.  Handing the hold away — appending
+it to a result list, returning it, passing it to any callable — counts as
+a transfer and ends tracking; the rule only reports holds *no* statement
+did anything resolution-shaped with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Rule
+from ._protocol import twophase_results
+
+__all__ = ["HoldLeakRule"]
+
+_EXIT_DESC = {
+    "return": "a normal return path",
+    "exception": "an exception path",
+}
+
+
+class HoldLeakRule(Rule):
+    """Flag ``prepare()`` results that can leak past function exit."""
+
+    rule_id: ClassVar[str] = "GL011"
+    title: ClassVar[str] = "no-hold-leak"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/", "benchmarks/")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for cfg, events in twophase_results(module):
+            for event in events:
+                if event.kind == "leak":
+                    via = _EXIT_DESC.get(event.exit_kind or "", "some path")
+                    yield self.finding(
+                        module,
+                        None,
+                        f"hold {event.var!r} from prepare() can reach the end "
+                        f"of {cfg.name}() via {via} without commit/abort_hold; "
+                        "leaked holds pin shard capacity until the TTL sweep",
+                        line=event.line,
+                    )
+                elif event.kind == "discard":
+                    yield self.finding(
+                        module,
+                        None,
+                        f"prepare() result discarded in {cfg.name}(); the hold "
+                        "cannot be committed or aborted if nothing binds it",
+                        line=event.line,
+                    )

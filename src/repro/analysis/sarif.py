@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 output for gridlint (`--format sarif`).
+
+One ``run`` per invocation: the tool driver carries the full rule
+catalogue (id, name, help URI anchored into ``docs/ANALYSIS.md``), each
+finding becomes a ``result`` with a physical location, and suppressed
+findings are emitted too — marked with an ``inSource`` suppression
+carrying the audit reason — so the SARIF consumer sees the same
+auditable picture as ``--show-suppressed``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import AnalysisReport, Finding, Rule
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title or rule.rule_id,
+        "shortDescription": {"text": rule.title or rule.rule_id},
+        "helpUri": rule.doc_anchor,
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.suppress_reason or "no reason given",
+            }
+        ]
+    return result
+
+
+def to_sarif(report: AnalysisReport, rules: list[Rule]) -> str:
+    """Serialise ``report`` as a SARIF 2.1.0 document."""
+    run = {
+        "tool": {
+            "driver": {
+                "name": "gridlint",
+                "informationUri": "docs/ANALYSIS.md",
+                "rules": [
+                    _rule_descriptor(rule)
+                    for rule in sorted(rules, key=lambda r: r.rule_id)
+                ],
+            }
+        },
+        "results": [
+            _result(f) for f in (report.findings + report.suppressed)
+        ],
+        "properties": {
+            "filesScanned": report.files_scanned,
+            "activeFindings": len(report.findings),
+            "suppressedFindings": len(report.suppressed),
+        },
+    }
+    document = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [run],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -209,8 +209,11 @@ class Gateway:
         self.chaos = chaos
         self.rpc_deadline = rpc_deadline
         self.backlog_limit = backlog_limit
+        # The coordinator gets its own copy of the broker list: the shard
+        # set is fixed at construction, and a shared alias would let either
+        # side mutate the other's view once brokers move out-of-process.
         self.coordinator = TwoPhaseCoordinator(
-            self.brokers,
+            list(self.brokers),
             self.shard_map,
             backoff=self.backoff,
             hold_ttl=hold_ttl,

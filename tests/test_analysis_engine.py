@@ -200,3 +200,166 @@ class TestRepoIsClean:
         assert report.findings == [], "\n".join(f.render() for f in report.findings)
         # The known, documented suppressions (timeline breakpoint identity).
         assert all(f.suppress_reason for f in report.suppressed)
+
+
+class TestMultiLineSuppression:
+    """Regression: a disable comment anywhere in a multi-line statement
+    must cover the statement's reported line, not just its own line."""
+
+    def test_comment_on_last_line_of_multiline_call(self, tmp_path):
+        _write(
+            tmp_path / "mod.py",
+            """\
+            import time
+
+            def f():
+                return time.time(
+                )  # gridlint: disable=GL001 -- wall time wanted
+            """,
+        )
+        report = run_analysis([tmp_path], all_rules())
+        assert [f for f in report.findings if f.rule == "GL001"] == []
+        assert len([f for f in report.suppressed if f.rule == "GL001"]) == 1
+
+    def test_comment_on_first_line_covers_inner_lines(self, tmp_path):
+        _write(
+            tmp_path / "mod.py",
+            """\
+            import time
+
+            def f():
+                stamps = (  # gridlint: disable=GL001 -- wall time wanted
+                    time.time(),
+                    time.time(),
+                )
+                return stamps
+            """,
+        )
+        report = run_analysis([tmp_path], all_rules())
+        assert [f for f in report.findings if f.rule == "GL001"] == []
+        assert len([f for f in report.suppressed if f.rule == "GL001"]) == 2
+
+    def test_compound_header_span_does_not_silence_body(self, tmp_path):
+        _write(
+            tmp_path / "mod.py",
+            """\
+            import time
+
+            def f(xs):
+                for x in sorted(
+                    xs
+                ):  # gridlint: disable=GL001 -- covers the header only
+                    t = time.time()
+                return t
+            """,
+        )
+        report = run_analysis([tmp_path], all_rules())
+        # The body violation on line 7 is outside the for-header span.
+        assert len([f for f in report.findings if f.rule == "GL001"]) == 1
+
+
+class TestParallelWalk:
+    def test_parallel_report_matches_serial(self, tmp_path):
+        for idx in range(12):
+            source = VIOLATING if idx % 3 == 0 else CLEAN
+            _write(tmp_path / f"mod_{idx:02d}.py", source)
+        serial = run_analysis([tmp_path], all_rules())
+        parallel = run_analysis([tmp_path], all_rules(), jobs=4)
+        assert serial.findings == parallel.findings
+        assert serial.suppressed == parallel.suppressed
+        assert serial.files_scanned == parallel.files_scanned
+        assert serial.to_json() == parallel.to_json()
+
+    def test_jobs_flag_via_cli(self, tmp_path, capsys):
+        _write(tmp_path / "mod.py", CLEAN)
+        assert main(["--jobs", "4", str(tmp_path)]) == 0
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        _write(tmp_path / "mod.py", VIOLATING)
+        assert main(["--format", "sarif", str(tmp_path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "gridlint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"GL001", "GL011", "GL012", "GL013", "GL014"} <= rule_ids
+        assert all(r["helpUri"].startswith("docs/ANALYSIS.md#") for r in driver["rules"])
+        results = run["results"]
+        assert len(results) == 1
+        assert results[0]["ruleId"] == "GL003"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_sarif_marks_suppressions(self, tmp_path, capsys):
+        _write(tmp_path / "mod.py", SUPPRESSED)
+        assert main(["--format", "sarif", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        suppression = results[0]["suppressions"][0]
+        assert suppression["kind"] == "inSource"
+        assert "identity intended" in suppression["justification"]
+
+
+class TestBaseline:
+    def test_write_then_gate_round_trip(self, tmp_path, capsys):
+        _write(tmp_path / "mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline), str(tmp_path)]) == 0
+        capsys.readouterr()
+        # Gated against its own snapshot the tree is green…
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+        capsys.readouterr()
+        # …and the baselined finding stays auditable, not vanished.
+        assert main(
+            ["--baseline", str(baseline), "--format", "json", str(tmp_path)]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["active"] == 0
+        reasons = {f["suppress_reason"] for f in doc["suppressed_findings"]}
+        assert "baselined" in reasons
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        mod = _write(tmp_path / "mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline), str(tmp_path)]) == 0
+        capsys.readouterr()
+        # A second, distinct violation appears after the snapshot.
+        mod.write_text(
+            mod.read_text()
+            + textwrap.dedent(
+                """\
+
+                def worse(bw, cap):
+                    return bw != cap
+                """
+            )
+        )
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 1
+
+    def test_count_exceeded_fails(self, tmp_path, capsys):
+        mod = _write(tmp_path / "mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline), str(tmp_path)]) == 0
+        capsys.readouterr()
+        # The same violation duplicated: occurrence 2 exceeds the count.
+        mod.write_text(
+            mod.read_text()
+            + textwrap.dedent(
+                """\
+
+                def same_again(t_end, deadline):
+                    return t_end == deadline
+                """
+            )
+        )
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 1
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        _write(tmp_path / "mod.py", CLEAN)
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        assert main(["--baseline", str(bad), str(tmp_path)]) == 2
