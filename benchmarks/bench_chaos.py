@@ -195,8 +195,17 @@ def test_chaos_matrix_smoke(results_dir):
         hold_ttl=60.0,
         rpc_deadline=60.0,
         horizon=400.0,
+        tracing=True,
+        flight_dir=results_dir / "flight",
     )
     (results_dir / "CHAOS_matrix.json").write_text(
         json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
     )
+    # Every cell's causal trace, one artifact: `grid-obs explain <rid>
+    # CHAOS_trace.json` reconstructs any request in any cell after the run.
+    assert report.telemetry is not None
+    report.telemetry.save(results_dir / "CHAOS_trace.json")
     assert report.ok, report.violations
+    assert report.slo_ok, [c["slo"] for c in report.cells if not c["slo"]["ok"]]
+    # Invariant-clean cells leave no flight dumps behind.
+    assert report.flight_paths == []

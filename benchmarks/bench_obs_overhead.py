@@ -8,6 +8,18 @@ copy of the pre-instrumentation search (the seed implementation, inlined
 below so the baseline cannot silently drift), and asserts the overhead
 stays under 5%.
 
+A second gate covers the causal-tracing plane end to end: the full
+sharded gateway on ``bench_gateway``'s wave workload with tracing
+enabled (every RPC hop spans, every decision event carries its trace
+context) must make byte-identical admission decisions to the same run
+under :class:`~repro.obs.telemetry.NullTelemetry` and stay within 5% of
+its simulated-cost throughput — the same currency ``bench_chaos``
+gates the disabled chaos plane in.  Tracing observes, it never rides
+the simulated critical path.  Wall-clock times for both runs are
+recorded alongside (not gated: recording thousands of spans in pure
+Python costs real wall time by design; the artifact keeps the trend
+visible).
+
 Timing uses the injectable :class:`~repro.obs.perfclock.WallClock` — the
 only sanctioned wall-clock source — with a min-of-repeats protocol so a
 single noisy run cannot fail CI.  Results land in
@@ -21,8 +33,11 @@ from collections.abc import Callable
 
 import numpy as np
 
+from bench_gateway import CAP, PORTS, wave_workload
+
 from repro.core import Platform, PortLedger, Request
 from repro.core.booking import deadline_tolerance, earliest_fit
+from repro.gateway import Gateway
 from repro.obs import NullTelemetry, Telemetry, WallClock, use_telemetry
 from repro.obs.perfclock import PerfClock
 
@@ -30,7 +45,10 @@ from conftest import RESULTS_DIR
 
 #: Allowed instrumented/seed ratio for the null-telemetry path.
 MAX_NULL_OVERHEAD = 1.05
+#: Allowed simulated-cost overhead of the fully traced gateway.
+MAX_TRACING_OVERHEAD = 0.05
 REPEATS = 15
+TRACING_REPEATS = 5
 
 
 # ----------------------------------------------------------------------
@@ -152,26 +170,93 @@ def test_null_telemetry_overhead_under_5_percent():
     null_ratio = null_time / seed_time
     enabled_ratio = enabled_time / seed_time
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_obs.json").write_text(
-        json.dumps(
-            {
-                "requests": len(requests),
-                "repeats": REPEATS,
-                "seed_seconds": seed_time,
-                "null_seconds": null_time,
-                "enabled_seconds": enabled_time,
-                "null_over_seed": null_ratio,
-                "enabled_over_seed": enabled_ratio,
-                "max_null_overhead": MAX_NULL_OVERHEAD,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+    _merge_results(
+        "booking",
+        {
+            "requests": len(requests),
+            "repeats": REPEATS,
+            "seed_seconds": seed_time,
+            "null_seconds": null_time,
+            "enabled_seconds": enabled_time,
+            "null_over_seed": null_ratio,
+            "enabled_over_seed": enabled_ratio,
+            "max_null_overhead": MAX_NULL_OVERHEAD,
+        },
     )
 
     assert null_ratio < MAX_NULL_OVERHEAD, (
         f"null-telemetry booking path is {null_ratio:.3f}x the seed implementation "
         f"(budget {MAX_NULL_OVERHEAD}x); seed={seed_time:.6f}s null={null_time:.6f}s"
+    )
+
+
+def _merge_results(section: str, payload: dict[str, object]) -> None:
+    """Read-modify-write one section of ``BENCH_obs.json``.
+
+    The booking and tracing gates run as separate tests; merging keeps one
+    artifact regardless of which subset a CI shard executed.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_obs.json"
+    document: dict[str, object] = {}
+    if path.exists():
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if "null_over_seed" in document:  # pre-sectioned layout
+            document = {"booking": document}
+    document[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def test_traced_gateway_overhead_under_5_percent():
+    clock = WallClock()
+    submissions = wave_workload()
+
+    def run_gateway(telemetry):
+        gateway = Gateway(
+            Platform.uniform(PORTS, PORTS, CAP),
+            num_shards=4,
+            batch_size=4,
+            telemetry=telemetry,
+        )
+        for sub in submissions:
+            gateway.submit(**sub)
+        gateway.drain(submissions[-1]["now"])
+        return gateway
+
+    # Tracing must observe, never steer: byte-identical admission state.
+    null_gw = run_gateway(NullTelemetry())
+    traced_gw = run_gateway(Telemetry())
+    assert traced_gw.snapshot() == null_gw.snapshot()
+    assert vars(traced_gw.stats) == vars(null_gw.stats)
+    spans = len(traced_gw.telemetry.tracer)
+    assert spans > 0, "traced run recorded no spans — the gate measures nothing"
+
+    # The gate: tracing adds no simulated cost (same currency bench_chaos
+    # gates the chaos plane in — bench_gateway's throughput metric).
+    overhead = 1.0 - traced_gw.throughput() / null_gw.throughput()
+
+    run_gateway(NullTelemetry())  # warm-up
+    null_time = _time_min(clock, lambda: run_gateway(NullTelemetry()), TRACING_REPEATS)
+    run_gateway(Telemetry())  # warm-up
+    traced_time = _time_min(clock, lambda: run_gateway(Telemetry()), TRACING_REPEATS)
+
+    _merge_results(
+        "tracing",
+        {
+            "submissions": len(submissions),
+            "repeats": TRACING_REPEATS,
+            "spans_per_run": spans,
+            "simulated_overhead": overhead,
+            "max_tracing_overhead": MAX_TRACING_OVERHEAD,
+            "decisions_identical": True,
+            "null_wall_seconds": null_time,
+            "traced_wall_seconds": traced_time,
+            "traced_over_null_wall": traced_time / null_time,
+        },
+    )
+
+    assert abs(overhead) <= MAX_TRACING_OVERHEAD, (
+        f"traced gateway loses {overhead * 100:.2f}% simulated throughput "
+        f"(gate: <= {MAX_TRACING_OVERHEAD * 100:.0f}%); tracing must stay off "
+        f"the simulated critical path"
     )

@@ -33,7 +33,7 @@ from .wall_clock import _BANNED as _CLOCK_SOURCES
 __all__ = ["NondetTaintRule"]
 
 #: Textual pre-filter: a module with none of these cannot have a sink.
-_SINK_TOKENS = ("journal", "_record", "RejectReason")
+_SINK_TOKENS = ("journal", "_record", "RejectReason", "recorder", "SloBreach")
 
 
 def _source_of(origin: str | None) -> str | None:
@@ -56,11 +56,20 @@ def _sink_name(call: ast.Call) -> str | None:
         receiver = terminal_name(func.value)
         if receiver in ("journal", "_journal"):
             return "journal.append"
+    if isinstance(func, ast.Attribute) and func.attr == "record":
+        # Flight-recorder rows feed post-mortem dumps that must be
+        # byte-identical across reruns of one seeded drill.
+        receiver = terminal_name(func.value)
+        if receiver in ("recorder", "_recorder", "flight_recorder"):
+            return "recorder.record"
     name = terminal_name(func)
     if name == "_record":
         return "_record"
     if name == "RejectReason":
         return "RejectReason"
+    if name == "SloBreach":
+        # Breach events land in artifacts and the chaos-matrix verdicts.
+        return "SloBreach"
     return None
 
 

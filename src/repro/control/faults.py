@@ -36,8 +36,10 @@ smoke tier of the matrix and fails on any violation.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING, Any
 
@@ -55,6 +57,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from ..gateway import Gateway
     from ..gateway.edge import EdgeLimit
     from ..gateway.rpc import ChaosPolicy
+    from ..obs.recorder import FlightRecorder
+    from ..obs.slo import SloRule, SloWatchdog
+    from ..obs.telemetry import Telemetry
 
 __all__ = [
     "AbortFault",
@@ -339,6 +344,9 @@ def run_gateway_fault_drill(
     backlog_limit: int = 0,
     restart_sweep: float | None = None,
     journal: Journal | None = None,
+    telemetry: Telemetry | None = None,
+    recorder: FlightRecorder | None = None,
+    slo: SloWatchdog | None = None,
     seed: int = 0,
     until: float | None = None,
 ) -> GatewayDrillReport:
@@ -362,6 +370,12 @@ def run_gateway_fault_drill(
     ops) — the recovery half of the crash-mid-2PC scenario, where crashes
     are sampled *inside* the protocol by the chaos policy rather than
     planned as :class:`BrokerCrash` events.
+
+    ``telemetry`` / ``recorder`` / ``slo`` attach the observability plane:
+    an enabled :class:`~repro.obs.telemetry.Telemetry` (or any
+    :class:`~repro.obs.recorder.FlightRecorder`) turns on causal tracing
+    for every admission, and an :class:`~repro.obs.slo.SloWatchdog` is fed
+    each decision and each batch's health snapshot as the drill runs.
 
     Displacement rebooking is a service-drill feature and is not offered
     here; displaced residuals stay unbooked (though with a
@@ -391,6 +405,9 @@ def run_gateway_fault_drill(
         rpc_deadline=rpc_deadline,
         backlog_limit=backlog_limit,
         journal=journal,
+        telemetry=telemetry,
+        recorder=recorder,
+        slo=slo,
     )
     report = GatewayDrillReport(gateway=gateway, faults=list(faults), crashes=list(crashes))
 
@@ -545,14 +562,23 @@ def chaos_scenario(
 class ChaosMatrixReport:
     """Per-cell outcomes of a :func:`run_chaos_matrix` sweep."""
 
-    #: One dict per (seed, scenario) cell: decisions, chaos counters and
-    #: the full invariant report.
+    #: One dict per (seed, scenario) cell: decisions, chaos counters, the
+    #: full invariant report and the cell's SLO verdict.
     cells: list[dict[str, Any]] = field(default_factory=list)
+    #: Causal-trace artifact covering every cell (``tracing=True`` only).
+    telemetry: Any | None = None  # repro.obs.RunTelemetry (cycle guard)
+    #: Flight-recorder dumps of failing cells, saved under ``flight_dir``.
+    flight_paths: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """Did every cell pass every invariant?"""
         return all(cell["invariants"]["ok"] for cell in self.cells)
+
+    @property
+    def slo_ok(self) -> bool:
+        """Did every cell also hold its service-level objectives?"""
+        return all(cell["slo"]["ok"] for cell in self.cells)
 
     @property
     def violations(self) -> list[str]:
@@ -565,7 +591,11 @@ class ChaosMatrixReport:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (the CI artifact)."""
-        return {"ok": self.ok, "cells": [dict(cell) for cell in self.cells]}
+        return {
+            "ok": self.ok,
+            "slo_ok": self.slo_ok,
+            "cells": [dict(cell) for cell in self.cells],
+        }
 
 
 def run_chaos_matrix(
@@ -583,6 +613,9 @@ def run_chaos_matrix(
     backlog_limit: int = 8,
     rpc_deadline: float | None = 60.0,
     horizon: float = 600.0,
+    tracing: bool = False,
+    slo_rules: Sequence[SloRule] | None = None,
+    flight_dir: str | Path | None = None,
 ) -> ChaosMatrixReport:
     """Sweep seeds x scenarios; quiesce and invariant-audit every cell.
 
@@ -597,10 +630,37 @@ def run_chaos_matrix(
     :func:`~repro.gateway.invariants.check_gateway` with
     ``expect_quiesced=True``.  The returned report carries every cell;
     ``report.ok`` is the CI gate.
+
+    Every cell also runs an :class:`~repro.obs.slo.SloWatchdog` over the
+    live gateway (``slo_rules`` or :func:`~repro.obs.slo.default_slo_rules`
+    scaled to the cell's TTL / deadline / backlog) and reports its verdict
+    under ``cell["slo"]`` — ``report.slo_ok`` aggregates them.  With
+    ``tracing=True`` each cell gets its own enabled telemetry handle and
+    flight recorder; the captures land in ``report.telemetry`` (a
+    :class:`~repro.obs.artifact.RunTelemetry` named ``chaos-matrix``) so
+    ``grid-obs explain`` can reconstruct any request in any cell.  When a
+    cell fails its audit and ``flight_dir`` is given, the attached
+    flight-recorder dump is saved there as
+    ``FLIGHT_seed<seed>_<scenario>.json`` (paths in ``report.flight_paths``).
     """
     from ..gateway.invariants import check_gateway
+    from ..obs.artifact import RunTelemetry
+    from ..obs.recorder import FlightRecorder
+    from ..obs.slo import SloWatchdog, default_slo_rules
+    from ..obs.telemetry import Telemetry
 
+    rules = (
+        list(slo_rules)
+        if slo_rules is not None
+        else default_slo_rules(
+            hold_ttl=hold_ttl, rpc_deadline=rpc_deadline, backlog_limit=backlog_limit
+        )
+    )
     report = ChaosMatrixReport()
+    if tracing:
+        report.telemetry = RunTelemetry(
+            "chaos-matrix", meta={"scenarios": list(scenarios), "seeds": list(seeds)}
+        )
     for seed in seeds:
         requests = list(make_requests(seed))
         last_deadline = max((r.t_end for r in requests), default=0.0)
@@ -609,6 +669,9 @@ def run_chaos_matrix(
                 scenario, seed=seed, num_shards=num_shards, horizon=horizon
             )
             journal = Journal()
+            telemetry = Telemetry() if tracing else None
+            recorder = FlightRecorder() if tracing else None
+            watchdog = SloWatchdog(rules)
             drill = run_gateway_fault_drill(
                 platform,
                 requests,
@@ -624,6 +687,9 @@ def run_chaos_matrix(
                 backlog_limit=backlog_limit,
                 restart_sweep=restart_sweep,
                 journal=journal,
+                telemetry=telemetry,
+                recorder=recorder,
+                slo=watchdog,
                 seed=seed,
             )
             gateway = drill.gateway
@@ -640,6 +706,16 @@ def run_chaos_matrix(
             invariants = check_gateway(
                 gateway, journal=journal, now=gateway.now, expect_quiesced=True
             )
+            if report.telemetry is not None and telemetry is not None:
+                report.telemetry.capture(f"seed={seed}/{scenario}", telemetry)
+            if invariants.flight is not None and flight_dir is not None:
+                dump_path = Path(flight_dir) / f"FLIGHT_seed{seed}_{scenario}.json"
+                dump_path.parent.mkdir(parents=True, exist_ok=True)
+                dump_path.write_text(
+                    json.dumps(invariants.flight, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                report.flight_paths.append(str(dump_path))
             stats = gateway.stats
             report.cells.append(
                 {
@@ -658,6 +734,7 @@ def run_chaos_matrix(
                     "chaos_partitioned": stats.chaos_partitioned,
                     "chaos_crashes": stats.chaos_crashes,
                     "invariants": invariants.to_dict(),
+                    "slo": watchdog.report(),
                 }
             )
     return report

@@ -43,6 +43,9 @@ from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.ledger import CAPACITY_SLACK, Degradation
 from ..core.platform import Platform
 from ..core.request import Request
+from ..obs.causal import CausalObserver, TraceContext
+from ..obs.recorder import FlightRecorder
+from ..obs.slo import SloWatchdog
 from ..obs.telemetry import Telemetry, get_telemetry
 from ..schedulers.policies import BandwidthPolicy, MinRatePolicy, policy_from_name
 from ..schedulers.retry import BackoffSchedule
@@ -172,6 +175,17 @@ class Gateway:
         or a broker restarts and their shards answer again.
     journal / telemetry:
         As on :class:`~repro.control.service.ReservationService`.
+    recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder` — bounded
+        per-component ring buffers of recent causal events, dumped by
+        :func:`~repro.gateway.invariants.check_gateway` on violation and
+        by drills on demand.  Always on when attached (records even
+        under :class:`~repro.obs.telemetry.NullTelemetry`); never
+        journaled, snapshotted or replayed.
+    slo:
+        Optional :class:`~repro.obs.slo.SloWatchdog` evaluated at every
+        batch flush over windowed admission/health aggregates; breaches
+        are edge-triggered events, never admission decisions.
     on_decision:
         Callback ``(reservation, now)`` invoked for every flushed
         decision — the fault drill uses it to sample mid-flight aborts.
@@ -193,6 +207,8 @@ class Gateway:
         backlog_limit: int = 0,
         journal: Journal | None = None,
         telemetry: Telemetry | None = None,
+        recorder: FlightRecorder | None = None,
+        slo: SloWatchdog | None = None,
         on_decision=None,
     ) -> None:
         if hold_ttl <= 0:
@@ -209,6 +225,11 @@ class Gateway:
         self.chaos = chaos
         self.rpc_deadline = rpc_deadline
         self.backlog_limit = backlog_limit
+        self.recorder = recorder
+        self.slo = slo
+        self._observer = CausalObserver(lambda: self.telemetry, recorder=recorder)
+        #: Root trace context per rid, for joining later lifecycle hops.
+        self._trace_roots: dict[int, TraceContext] = {}
         # The coordinator gets its own copy of the broker list: the shard
         # set is fixed at construction, and a shared alias would let either
         # side mutate the other's view once brokers move out-of-process.
@@ -219,6 +240,7 @@ class Gateway:
             hold_ttl=hold_ttl,
             chaos=chaos,
             rpc_deadline=rpc_deadline,
+            observer=self._observer,
         )
         self.batcher = Batcher(batch_size, AdmissionOrdering.from_name(ordering))
         self.edge = EdgeLimiter(edge) if edge is not None else None
@@ -226,6 +248,8 @@ class Gateway:
         self.stats = GatewayStats()
         self._backlog: list[int] = []
         self._chaos_seen: dict[str, float] = {}
+        self._edge_seen: dict[str, float] = {}
+        self._overcommit_hwm = 0.0
         self.on_decision = on_decision
         self.journal = journal
         self._telemetry = telemetry
@@ -307,6 +331,37 @@ class Gateway:
             self.journal.append(op, now, **args)
 
     # ------------------------------------------------------------------
+    # Causal tracing (observability only: never touches decisions,
+    # journal, snapshot or replay)
+    # ------------------------------------------------------------------
+    def _tracing(self) -> bool:
+        """Should this gateway mint trace contexts at all?"""
+        return self.recorder is not None or self.telemetry.enabled
+
+    def _trace_event(
+        self,
+        component: str,
+        now: float,
+        kind: str,
+        ctx: TraceContext | None,
+        **fields: Any,
+    ) -> None:
+        """One gateway-side hop on a request's causal timeline."""
+        if ctx is None:
+            return
+        merged = {**ctx.fields(), **fields}
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tracer.instant(kind, now, cat="causal", **merged)
+        if self.recorder is not None:
+            self.recorder.record(component, now, kind, **merged)
+
+    def _flight(self, component: str, now: float, kind: str, **fields: Any) -> None:
+        """A component-level (not request-level) flight-recorder row."""
+        if self.recorder is not None:
+            self.recorder.record(component, now, kind, **fields)
+
+    # ------------------------------------------------------------------
     # Submission path
     # ------------------------------------------------------------------
     def submit(
@@ -352,6 +407,7 @@ class Gateway:
         self._record(
             "gw_submit",
             now,
+            rid=rid,
             client=client,
             ingress=ingress,
             egress=egress,
@@ -361,9 +417,34 @@ class Gateway:
             origin=origin,
         )
         self.stats.submits += 1
+        ctx: TraceContext | None = None
+        if self._tracing():
+            # A rebooking joins the original request's trace so one
+            # `grid-obs explain` shows the whole lineage.
+            parent = self._trace_roots.get(origin) if origin is not None else None
+            ctx = (
+                parent.child(f"rebook:{rid}")
+                if parent is not None
+                else TraceContext.root(rid)
+            )
+            self._trace_roots[rid] = ctx
+            self._trace_event(
+                "gateway",
+                now,
+                "gateway.trace.submit",
+                ctx,
+                rid=rid,
+                client=client,
+                ingress=ingress,
+                egress=egress,
+                origin=origin,
+            )
         if self.edge is not None and not self.edge.admit(client, volume, now):
             ticket.edge_refused = True
             self.stats.edge_refused += 1
+            self._trace_event(
+                "gateway", now, "gateway.trace.edge_refused", ctx, rid=rid, client=client
+            )
             tel = self.telemetry
             if tel.enabled:
                 tel.metrics.counter(
@@ -377,6 +458,9 @@ class Gateway:
         if not len(self.batcher):
             self._batch_opened = now
         self.batcher.enqueue(PendingAdmission(seq=seq, ticket=ticket))
+        self._trace_event(
+            "gateway", now, "gateway.trace.enqueued", ctx, rid=rid, pending=len(self.batcher)
+        )
         if self.batcher.full:
             self._flush(now)
         return ticket
@@ -402,6 +486,11 @@ class Gateway:
         )
         self.stats.batches += 1
         tel = self.telemetry
+        health = (
+            self._health_snapshot(now)
+            if (tel.enabled or self.slo is not None)
+            else None
+        )
         if tel.enabled:
             tel.metrics.counter(
                 "gateway_batches_total", "Admission batches flushed, by ordering."
@@ -423,14 +512,20 @@ class Gateway:
                 size=len(batch),
                 ordering=self.batcher.ordering.value,
                 critical_path=max(deltas),
+                **(health or {}),
             )
+        if self.slo is not None and health is not None:
+            for metric in ("backlog_depth", "max_hold_age", "overcommit_proximity"):
+                self.slo.sample(metric, now, health[metric])
+            self.slo.evaluate(now, telemetry=tel, recorder=self.recorder)
         self._publish_chaos()
 
     def _decide(self, ticket: Ticket, now: float) -> None:
         """Run one admission through the coordinator; publish the outcome."""
         request = ticket.request
+        ctx = self._trace_roots.get(request.rid)
         outcome = self.coordinator.reserve(
-            request, lambda sigma: self.policy.assign(request, sigma), now
+            request, lambda sigma: self.policy.assign(request, sigma), now, ctx=ctx
         )
         reservation = Reservation(
             rid=request.rid,
@@ -457,12 +552,32 @@ class Gateway:
             self.stats.twophase_aborts += 1
         if outcome.allocation is not None:
             self.stats.accepted += 1
+            if self.telemetry.enabled or self.slo is not None:
+                self._note_port_peaks(request.ingress, request.egress)
         else:
             self.stats.rejected += 1
             if outcome.probe.reason is RejectReason.SHARD_UNREACHABLE:
                 self.stats.shard_unreachable += 1
             self._maybe_backlog(ticket, outcome.probe.reason)
-        self._observe_decision(reservation, outcome, now)
+        # Admission latency in simulated time: queueing since the request's
+        # window opened plus the retry backoff and chaos waiting its
+        # transaction burned.
+        latency = (now - request.t_start) + outcome.retry_delay + outcome.chaos_wait
+        accepted = outcome.allocation is not None
+        reason = outcome.probe.reason.value if outcome.probe.reason is not None else None
+        if self.slo is not None:
+            self.slo.admission(now, accepted=accepted, latency=latency)
+        self._trace_event(
+            "gateway",
+            now,
+            "gateway.trace.decision",
+            ctx,
+            rid=request.rid,
+            outcome="accepted" if accepted else "rejected",
+            reason=None if accepted else reason,
+            latency=latency,
+        )
+        self._observe_decision(reservation, outcome, now, latency)
         if self.on_decision is not None:
             self.on_decision(reservation, now)
 
@@ -491,7 +606,9 @@ class Gateway:
                 "Broker-down rejections parked for re-admission.",
             ).inc()
 
-    def _observe_decision(self, reservation: Reservation, outcome, now: float) -> None:
+    def _observe_decision(
+        self, reservation: Reservation, outcome, now: float, latency: float
+    ) -> None:
         tel = self.telemetry
         if not tel.enabled:
             return
@@ -516,6 +633,10 @@ class Gateway:
                 "gateway_twophase_aborts_total",
                 "Two-phase transactions rolled back with holds released.",
             ).inc()
+        tel.metrics.histogram(
+            "gateway_admission_latency_seconds",
+            "Admission latency in simulated seconds (queueing + retries + chaos).",
+        ).observe(latency)
         fields: dict[str, Any] = {
             "rid": reservation.rid,
             "ingress": reservation.request.ingress,
@@ -526,7 +647,11 @@ class Gateway:
             "path": "local" if outcome.local else "cross-shard",
             "fastpath": outcome.fastpath,
             "candidates": outcome.probe.candidates,
+            "latency": latency,
         }
+        trace_ctx = self._trace_roots.get(reservation.rid)
+        if trace_ctx is not None:
+            fields.update(trace_ctx.fields())
         if alloc is not None:
             fields.update(sigma=alloc.sigma, tau=alloc.tau, bw=alloc.bw)
         else:
@@ -586,8 +711,48 @@ class Gateway:
                 max_rate=original.max_rate,
             )
             attempted += 1
+            ctx: TraceContext | None = None
+            if self._tracing():
+                # Re-admissions stay on the original request's trace: the
+                # fresh rid is one more hop of the same causal story.
+                root = self._trace_roots.get(rid)
+                ctx = (
+                    root.child(f"readmit:{candidate.rid}")
+                    if root is not None
+                    else TraceContext.root(candidate.rid)
+                )
+                self._trace_roots[candidate.rid] = ctx
+                self._trace_event(
+                    "gateway",
+                    now,
+                    "gateway.trace.readmit_attempt",
+                    ctx,
+                    rid=candidate.rid,
+                    origin=rid,
+                )
             outcome = self.coordinator.reserve(
-                candidate, lambda sigma, r=candidate: self.policy.assign(r, sigma), now
+                candidate,
+                lambda sigma, r=candidate: self.policy.assign(r, sigma),
+                now,
+                ctx=ctx,
+            )
+            accepted = outcome.allocation is not None
+            if self.slo is not None:
+                self.slo.admission(
+                    now,
+                    accepted=accepted,
+                    latency=(now - original.t_start)
+                    + outcome.retry_delay
+                    + outcome.chaos_wait,
+                )
+            self._trace_event(
+                "gateway",
+                now,
+                "gateway.trace.readmit_decision",
+                ctx,
+                rid=candidate.rid,
+                origin=rid,
+                outcome="accepted" if accepted else "rejected",
             )
             if outcome.allocation is None:
                 keep.append(rid)
@@ -599,6 +764,8 @@ class Gateway:
                 origin=rid,
             )
             self.stats.readmitted += 1
+            if self.telemetry.enabled or self.slo is not None:
+                self._note_port_peaks(candidate.ingress, candidate.egress)
             admitted.append((rid, candidate.rid))
         self._backlog = keep
         if attempted:
@@ -611,8 +778,52 @@ class Gateway:
                 "Backlogged rejections successfully re-admitted.",
             ).inc(float(len(admitted)))
             for origin_rid, new_rid in admitted:
-                tel.emit("gateway.readmit", now, origin=origin_rid, rid=new_rid)
+                fields: dict[str, Any] = {"origin": origin_rid, "rid": new_rid}
+                new_ctx = self._trace_roots.get(new_rid)
+                if new_ctx is not None:
+                    fields.update(new_ctx.fields())
+                tel.emit("gateway.readmit", now, **fields)
         self._publish_chaos()
+
+    # ------------------------------------------------------------------
+    # Health gauges (SLO watchdog inputs, sampled at every flush)
+    # ------------------------------------------------------------------
+    def _health_snapshot(self, now: float) -> dict[str, float]:
+        """Point-in-time health gauges: backlog, hold age, peak proximity.
+
+        ``overcommit_proximity`` is the worst all-time ``peak / capacity``
+        ratio across ports — 1.0 is a fully-booked port, anything beyond
+        the capacity slack is an invariant violation in the making.  It is
+        a high-water mark advanced by :meth:`_note_port_peaks` as bookings
+        confirm, so sampling here costs O(live holds), not a rescan of
+        every port timeline at every flush.
+        """
+        max_age = 0.0
+        for broker in self.brokers:
+            for hold in broker.holds():
+                max_age = max(max_age, now - (hold.expires - self.hold_ttl))
+        return {
+            "backlog_depth": float(len(self._backlog)),
+            "max_hold_age": max_age,
+            "overcommit_proximity": self._overcommit_hwm,
+        }
+
+    def _note_port_peaks(self, ingress: int, egress: int) -> None:
+        """Advance the overcommit high-water mark after a confirmed booking.
+
+        Only the two ports the booking touched can move the worst
+        ``peak / capacity`` ratio, so the probe stays O(1) per admission.
+        Cancellations, compensations and broker restarts can later lower
+        the live peaks; the mark deliberately keeps the worst proximity
+        the run ever reached.
+        """
+        for side, port in (("ingress", ingress), ("egress", egress)):
+            cap = self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
+            if cap <= 0:
+                continue
+            peak = self.coordinator.broker_for(side, port).cached_peak(side, port)
+            if peak / cap > self._overcommit_hwm:
+                self._overcommit_hwm = peak / cap
 
     # ------------------------------------------------------------------
     # Chaos accounting (channel counters → stats + telemetry deltas)
@@ -623,6 +834,39 @@ class Gateway:
         "delays": "Deliveries sampled slow on coordinator→broker channels.",
         "partitioned": "Deliveries refused by an active shard partition.",
         "crashes": "Broker crashes sampled right after a protocol phase.",
+    }
+
+    #: Per-edge channel counters surfaced as shard-labeled metrics
+    #: (``ChannelStats`` field → metric name + help).
+    _CHANNEL_COUNTERS = {
+        "calls": (
+            "gateway_channel_deliveries_total",
+            "Protocol deliveries attempted per coordinator→broker edge.",
+        ),
+        "drops": (
+            "gateway_channel_dropped_total",
+            "Deliveries lost per coordinator→broker edge.",
+        ),
+        "duplicates": (
+            "gateway_channel_duplicated_total",
+            "Deliveries replayed (at-least-once) per edge.",
+        ),
+        "delays": (
+            "gateway_channel_delayed_total",
+            "Deliveries sampled slow per edge.",
+        ),
+        "partitioned": (
+            "gateway_channel_partitioned_total",
+            "Deliveries refused by a partition window per edge.",
+        ),
+        "crashes": (
+            "gateway_channel_crashes_total",
+            "Broker crashes sampled mid-protocol per edge.",
+        ),
+        "recovered": (
+            "gateway_channel_recovered_total",
+            "Ambiguous deliveries the termination probe recovered per edge.",
+        ),
     }
 
     def _publish_chaos(self) -> None:
@@ -652,6 +896,17 @@ class Gateway:
                     tel.metrics.counter(
                         f"gateway_chaos_{name}_total", help_text
                     ).inc(delta)
+            for channel in self.coordinator.channels:
+                per_edge = channel.stats.as_dict()
+                for field, (metric, help_text) in self._CHANNEL_COUNTERS.items():
+                    key = f"{channel.shard_id}:{field}"
+                    value = float(per_edge[field])
+                    delta = value - self._edge_seen.get(key, 0.0)
+                    self._edge_seen[key] = value
+                    if delta > 0:
+                        tel.metrics.counter(metric, help_text).inc(
+                            delta, shard=channel.shard_id
+                        )
         self._chaos_seen = totals
 
     # ------------------------------------------------------------------
@@ -669,6 +924,14 @@ class Gateway:
             reservation.cancelled_at = now
             self.stats.cancelled += 1
             released = True
+        self._trace_event(
+            "gateway",
+            now,
+            "gateway.trace.cancel",
+            self._trace_roots.get(rid),
+            rid=rid,
+            released=released,
+        )
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter("gateway_cancels_total", "Cancellations by effect.").inc(
@@ -691,6 +954,9 @@ class Gateway:
         self._release_tail(reservation, now)
         reservation.aborted_at = now
         self.stats.aborted += 1
+        self._trace_event(
+            "gateway", now, "gateway.trace.abort", self._trace_roots.get(rid), rid=rid
+        )
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter("gateway_aborts_total", "Mid-flight transfer aborts.").inc()
@@ -734,6 +1000,15 @@ class Gateway:
             victim.displaced_at = now
             self.stats.displaced += 1
             displaced.append(victim)
+        self._flight(
+            "gateway",
+            now,
+            "degrade",
+            side=side,
+            port=port,
+            amount=amount,
+            displaced=[r.rid for r in displaced],
+        )
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter(
@@ -820,6 +1095,7 @@ class Gateway:
         wiped = broker.crash()
         self.stats.crashes += 1
         self._record("gw_crash", now, shard=shard)
+        self._flight(f"rpc.shard{shard}", now, "broker.crash", holds_wiped=wiped)
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter(
@@ -834,6 +1110,7 @@ class Gateway:
         self._broker(shard).restart()
         self.stats.restarts += 1
         self._record("gw_restart", now, shard=shard)
+        self._flight(f"rpc.shard{shard}", now, "broker.restart")
         tel = self.telemetry
         if tel.enabled:
             tel.emit("gateway.restart", now, shard=shard)

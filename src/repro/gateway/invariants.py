@@ -47,6 +47,11 @@ class InvariantReport:
     violations: list[str] = field(default_factory=list)
     #: How much was audited (shards, ports, reservations, live holds...).
     checks: dict[str, int] = field(default_factory=dict)
+    #: Flight-recorder dump captured at failure time (only when the
+    #: audited gateway carries a recorder AND something was violated).
+    #: Deliberately excluded from :meth:`to_dict` — it is a post-mortem
+    #: artifact saved to its own file, not a matrix-cell payload.
+    flight: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -209,4 +214,10 @@ def check_gateway(
         "live_holds": live_holds,
         "replayed": replayed,
     }
+    if report.violations and gateway.recorder is not None:
+        # Post-mortem: freeze every component's recent tail the moment the
+        # audit fails, before any further activity rolls the rings over.
+        report.flight = gateway.recorder.dump(
+            reason=f"invariant-violation: {report.violations[0]}", now=at
+        )
     return report

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any, TypeVar
 from ..core.errors import ConfigurationError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.causal import CausalObserver, TraceContext
     from .broker import Hold, ShardBroker
 
 __all__ = [
@@ -310,6 +311,9 @@ class ChannelStats:
     delays: int = 0
     partitioned: int = 0
     crashes: int = 0
+    #: Ambiguous outcomes resolved in the caller's favour by a durable-log
+    #: read (termination probe answered "it landed").
+    recovered: int = 0
     #: Simulated seconds of latency/delay accrued by successful deliveries.
     latency: float = 0.0
 
@@ -327,13 +331,35 @@ class Channel:
     bit-identical to calling the broker directly.
     """
 
-    def __init__(self, broker: ShardBroker, policy: ChaosPolicy | None = None) -> None:
+    def __init__(
+        self,
+        broker: ShardBroker,
+        policy: ChaosPolicy | None = None,
+        observer: CausalObserver | None = None,
+    ) -> None:
         self.broker = broker
         self.policy = policy
+        self.observer = observer
         self.stats = ChannelStats()
         self._edge = policy.edge_for(broker.shard_id) if policy is not None else EdgeChaos()
         seed = policy.seed if policy is not None else 0
         self._rng = random.Random(seed * _SEED_STRIDE + broker.shard_id + 1)
+
+    # ------------------------------------------------------------------
+    # Causal tracing: the channel is where faults become visible, so it
+    # is the channel that annotates them onto the request's timeline.
+    # ------------------------------------------------------------------
+    def _observe_delivery(
+        self, op: str, now: float, ctx: TraceContext | None, **detail: Any
+    ) -> None:
+        if self.observer is not None and ctx is not None:
+            self.observer.delivery(op, shard=self.shard_id, now=now, ctx=ctx, **detail)
+
+    def _observe_fault(
+        self, kind: str, op: str, now: float, ctx: TraceContext | None, **detail: Any
+    ) -> None:
+        if self.observer is not None and ctx is not None:
+            self.observer.fault(kind, op, shard=self.shard_id, now=now, ctx=ctx, **detail)
 
     # ------------------------------------------------------------------
     @property
@@ -355,7 +381,9 @@ class Channel:
     # ------------------------------------------------------------------
     # Termination protocol: durable-log reads
     # ------------------------------------------------------------------
-    def resolved_committed(self, hold_id: int) -> bool:
+    def resolved_committed(
+        self, hold_id: int, *, now: float = 0.0, ctx: TraceContext | None = None
+    ) -> bool:
         """Did ``hold_id``'s commit land, per the broker's durable log?
 
         The coordinator's termination-protocol read for an ambiguous
@@ -363,12 +391,24 @@ class Channel:
         is modelled reliable — a recovery read of the WAL, not a fresh
         delivery — so it draws nothing and ignores partitions.
         """
-        return self.broker.resolution_of(hold_id) == "committed"
+        landed = self.broker.resolution_of(hold_id) == "committed"
+        if landed:
+            self.stats.recovered += 1
+            self._observe_delivery(
+                "commit", now, ctx, outcome="recovered", hold_id=hold_id
+            )
+        return landed
 
-    def booking_landed(self, rid: int) -> bool:
+    def booking_landed(
+        self, rid: int, *, now: float = 0.0, ctx: TraceContext | None = None
+    ) -> bool:
         """Did the pair booking keyed ``rid`` land?  (Reliable log read,
         the :meth:`resolved_committed` analogue for the local fast path.)"""
-        return self.broker.was_booked(rid)
+        landed = self.broker.was_booked(rid)
+        if landed:
+            self.stats.recovered += 1
+            self._observe_delivery("book_pair", now, ctx, outcome="recovered", rid=rid)
+        return landed
 
     # ------------------------------------------------------------------
     def deliver(
@@ -378,6 +418,7 @@ class Channel:
         *,
         now: float,
         reliable: bool = False,
+        ctx: TraceContext | None = None,
     ) -> _T:
         """Run one broker call through the configured chaos.
 
@@ -386,10 +427,14 @@ class Channel:
         duplicate — and a draw only happens when its probability is
         non-zero, so an all-zero policy consumes no randomness at all.
         ``reliable=True`` (compensation records) bypasses partition,
-        drop and duplication: only latency applies.
+        drop and duplication: only latency applies.  ``ctx`` is the
+        causal trace context of the transaction this delivery serves;
+        every fault that strikes is annotated onto its timeline.
         """
         if self.policy is None:
-            return invoke()
+            result = invoke()
+            self._observe_delivery(op, now, ctx)
+            return result
         self.stats.calls += 1
         edge = self._edge
         rng = self._rng
@@ -398,13 +443,25 @@ class Channel:
         if not reliable:
             if self.partitioned(now):
                 self.stats.partitioned += 1
+                self._observe_fault(
+                    "partition", op, now, ctx, cost=self.policy.timeout_cost
+                )
                 raise ChannelTimeout(
                     f"{op}: shard {self.shard_id} is partitioned",
                     cost=self.policy.timeout_cost,
                 )
             if edge.drop > 0.0 and rng.random() < edge.drop:
                 self.stats.drops += 1
-                if rng.random() < 0.5:
+                reply_lost = rng.random() < 0.5
+                self._observe_fault(
+                    "drop",
+                    op,
+                    now,
+                    ctx,
+                    mode="reply-lost" if reply_lost else "request-lost",
+                    cost=self.policy.timeout_cost,
+                )
+                if reply_lost:
                     # The request reached the broker; only the reply died.
                     try:
                         invoke()
@@ -417,16 +474,25 @@ class Channel:
         if edge.delay > 0.0 and rng.random() < edge.delay:
             self.stats.delays += 1
             self.stats.latency += edge.delay_cost
+            self._observe_fault("delay", op, now, ctx, cost=edge.delay_cost)
         result = invoke()
         if not reliable and edge.duplicate > 0.0 and rng.random() < edge.duplicate:
             self.stats.duplicates += 1
+            self._observe_fault("duplicate", op, now, ctx)
             try:
                 invoke()  # at-least-once: the broker sees the replay too
             except ReproError:
                 pass
+        self._observe_delivery(op, now, ctx)
         return result
 
-    def _maybe_crash(self, probability: float) -> None:
+    def _maybe_crash(
+        self,
+        probability: float,
+        op: str,
+        now: float,
+        ctx: TraceContext | None,
+    ) -> None:
         """Sample a broker crash right after an acknowledged phase."""
         if (
             probability > 0.0
@@ -434,6 +500,7 @@ class Channel:
             and self._rng.random() < probability
         ):
             self.stats.crashes += 1
+            self._observe_fault("crash", op, now, ctx)
             self.broker.crash()
 
     # ------------------------------------------------------------------
@@ -450,39 +517,52 @@ class Channel:
         rid: int,
         expires: float,
         now: float,
+        ctx: TraceContext | None = None,
     ) -> Hold | None:
         """Phase one through the channel; ``(rid, side)`` keys the replay."""
         if self.policy is None:
-            return self.broker.prepare(
+            hold = self.broker.prepare(
                 side, port, t0, t1, bw, rid=rid, expires=expires, key=(rid, side)
             )
+            self._observe_delivery(
+                "prepare", now, ctx, rid=rid, side=side, held=hold is not None
+            )
+            return hold
         hold = self.deliver(
             "prepare",
             lambda: self.broker.prepare(
                 side, port, t0, t1, bw, rid=rid, expires=expires, key=(rid, side)
             ),
             now=now,
+            ctx=ctx,
         )
         if hold is not None:
-            self._maybe_crash(self._edge.crash_after_prepare)
+            self._maybe_crash(self._edge.crash_after_prepare, "prepare", now, ctx)
         return hold
 
-    def commit(self, hold_id: int, *, now: float) -> None:
+    def commit(
+        self, hold_id: int, *, now: float, ctx: TraceContext | None = None
+    ) -> None:
         """Phase two through the channel."""
         if self.policy is None:
             self.broker.commit(hold_id)
+            self._observe_delivery("commit", now, ctx, hold_id=hold_id)
             return
-        self.deliver("commit", lambda: self.broker.commit(hold_id), now=now)
-        self._maybe_crash(self._edge.crash_after_commit)
+        self.deliver("commit", lambda: self.broker.commit(hold_id), now=now, ctx=ctx)
+        self._maybe_crash(self._edge.crash_after_commit, "commit", now, ctx)
 
-    def abort_hold(self, hold_id: int, *, now: float) -> bool:
+    def abort_hold(
+        self, hold_id: int, *, now: float, ctx: TraceContext | None = None
+    ) -> bool:
         """Abort through the channel — deliberately *unreliable*: a lost
         abort strands the hold until the broker's TTL sweep (presumed
         abort), which is the failure mode the drills must exercise."""
         if self.policy is None:
-            return self.broker.abort_hold(hold_id)
+            released = self.broker.abort_hold(hold_id)
+            self._observe_delivery("abort", now, ctx, hold_id=hold_id)
+            return released
         return self.deliver(
-            "abort", lambda: self.broker.abort_hold(hold_id), now=now
+            "abort", lambda: self.broker.abort_hold(hold_id), now=now, ctx=ctx
         )
 
     def book_pair(
@@ -495,29 +575,42 @@ class Channel:
         *,
         rid: int,
         now: float,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Shard-local atomic booking through the channel; ``rid`` keys it."""
         if self.policy is None:
             self.broker.book_pair(ingress, egress, t0, t1, bw, key=rid)
+            self._observe_delivery("book_pair", now, ctx, rid=rid)
             return
         self.deliver(
             "book_pair",
             lambda: self.broker.book_pair(ingress, egress, t0, t1, bw, key=rid),
             now=now,
+            ctx=ctx,
         )
 
     def release(
-        self, side: str, port: int, t0: float, t1: float, bw: float, *, now: float
+        self,
+        side: str,
+        port: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        now: float,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Compensation release — ``reliable``: modelled as a durable
         compensation record replayed until acknowledged, so undoing a
         partial commit can never itself be lost."""
         if self.policy is None:
             self.broker.release(side, port, t0, t1, bw)
+            self._observe_delivery("release", now, ctx, side=side)
             return
         self.deliver(
             "release",
             lambda: self.broker.release(side, port, t0, t1, bw),
             now=now,
+            ctx=ctx,
             reliable=True,
         )

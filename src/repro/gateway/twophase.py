@@ -48,18 +48,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
 
 from ..core.allocation import Allocation
 from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
 from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.capacity import fits_under
 from ..core.request import Request
+from ..obs.causal import child_of
 from ..schedulers.retry import BackoffSchedule
 from .broker import BrokerUnavailable, Hold, ShardBroker
 from .rpc import Channel, ChannelTimeout, ChaosPolicy, ShardUnreachable
 from .sharding import ShardMap
 from .view import PairLedgerView
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.causal import CausalObserver, TraceContext
 
 __all__ = ["TwoPhaseCoordinator", "TwoPhaseOutcome"]
 
@@ -107,6 +111,7 @@ class TwoPhaseCoordinator:
         hold_ttl: float = 300.0,
         chaos: ChaosPolicy | None = None,
         rpc_deadline: float | None = None,
+        observer: CausalObserver | None = None,
     ) -> None:
         if rpc_deadline is not None and rpc_deadline <= 0:
             raise ConfigurationError(
@@ -120,7 +125,9 @@ class TwoPhaseCoordinator:
         #: Simulated seconds of waiting (backoff + timeouts) a transaction
         #: may burn on one shard before it is declared unreachable.
         self.rpc_deadline = rpc_deadline
-        self.channels = [Channel(broker, policy=chaos) for broker in brokers]
+        self.channels = [
+            Channel(broker, policy=chaos, observer=observer) for broker in brokers
+        ]
 
     # ------------------------------------------------------------------
     def broker_for(self, side: str, port: int) -> ShardBroker:
@@ -136,11 +143,16 @@ class TwoPhaseCoordinator:
         request: Request,
         rate_for: Callable[[float], float | None],
         now: float,
+        *,
+        ctx: TraceContext | None = None,
     ) -> TwoPhaseOutcome:
         """Admit one request: search, then place it consistently.
 
         Returns a :class:`TwoPhaseOutcome`; ``outcome.allocation`` is
         ``None`` on rejection with ``outcome.probe.reason`` set.
+        ``ctx`` (when tracing) is the request's causal context; each
+        protocol phase runs under a derived child context so faults land
+        on the right hop of the timeline.
         """
         ingress_broker = self.broker_for("ingress", request.ingress)
         egress_broker = self.broker_for("egress", request.egress)
@@ -171,9 +183,10 @@ class TwoPhaseCoordinator:
                 outcome,
                 probe,
                 now,
+                ctx,
             )
         else:
-            self._place_two_phase(allocation, now, outcome, probe)
+            self._place_two_phase(allocation, now, outcome, probe, ctx)
         return outcome
 
     # ------------------------------------------------------------------
@@ -230,8 +243,10 @@ class TwoPhaseCoordinator:
         outcome: TwoPhaseOutcome,
         probe: FitProbe,
         now: float,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Shard-local placement: one atomic pair booking, no protocol."""
+        book_ctx = child_of(ctx, "book")
         try:
             self._with_retry(
                 lambda: channel.book_pair(
@@ -242,6 +257,7 @@ class TwoPhaseCoordinator:
                     allocation.bw,
                     rid=allocation.rid,
                     now=now,
+                    ctx=book_ctx,
                 ),
                 outcome,
             )
@@ -249,7 +265,7 @@ class TwoPhaseCoordinator:
             probe.reason = RejectReason.BROKER_UNAVAILABLE
             return
         except ShardUnreachable:
-            if channel.booking_landed(allocation.rid):
+            if channel.booking_landed(allocation.rid, now=now, ctx=book_ctx):
                 # Termination probe: the booking executed and only its
                 # acknowledgements were lost.  Accepting is the only
                 # correct answer — rejecting would strand the booked
@@ -267,6 +283,7 @@ class TwoPhaseCoordinator:
         now: float,
         outcome: TwoPhaseOutcome,
         probe: FitProbe,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Cross-shard placement: prepare both holds, then commit both."""
         expires = now + self.hold_ttl
@@ -286,9 +303,10 @@ class TwoPhaseCoordinator:
         )
         placed: list[tuple[Channel, Hold]] = []
         for channel, side, port, full_reason in plan:
+            prepare_ctx = child_of(ctx, f"prepare:{side}")
             try:
                 hold = self._with_retry(
-                    lambda c=channel, s=side, p=port: c.prepare(
+                    lambda c=channel, s=side, p=port, x=prepare_ctx: c.prepare(
                         s,
                         p,
                         allocation.sigma,
@@ -297,35 +315,40 @@ class TwoPhaseCoordinator:
                         rid=allocation.rid,
                         expires=expires,
                         now=now,
+                        ctx=x,
                     ),
                     outcome,
                 )
             except BrokerUnavailable:
-                self._abort(placed, outcome, now)
+                self._abort(placed, outcome, now, ctx)
                 probe.reason = RejectReason.BROKER_UNAVAILABLE
                 return
             except ShardUnreachable:
-                self._abort(placed, outcome, now)
+                self._abort(placed, outcome, now, ctx)
                 probe.reason = RejectReason.SHARD_UNREACHABLE
                 return
             if hold is None:
                 # The search said it fits; a refusal here means the slice
                 # moved between search and prepare (never within one batch,
                 # but the protocol does not assume that).
-                self._abort(placed, outcome, now)
+                self._abort(placed, outcome, now, ctx)
                 probe.reason = full_reason
                 return
             placed.append((channel, hold))
             outcome.holds.append(hold)
         committed: list[tuple[Channel, Hold]] = []
         for channel, hold in placed:
+            commit_ctx = child_of(ctx, f"commit:{hold.side}")
             try:
                 self._with_retry(
-                    lambda c=channel, h=hold: c.commit(h.hold_id, now=now), outcome
+                    lambda c=channel, h=hold, x=commit_ctx: c.commit(
+                        h.hold_id, now=now, ctx=x
+                    ),
+                    outcome,
                 )
             except (BrokerUnavailable, ShardUnreachable) as exc:
                 if isinstance(exc, ShardUnreachable) and channel.resolved_committed(
-                    hold.hold_id
+                    hold.hold_id, now=now, ctx=commit_ctx
                 ):
                     # Termination probe against the broker's durable
                     # resolution log: the commit landed and only its
@@ -338,8 +361,8 @@ class TwoPhaseCoordinator:
                 # Atomicity under partial commit: undo the peer bookings
                 # that already committed (reliable compensation records),
                 # then abort whatever is still held.
-                self._compensate(committed, outcome, now)
-                self._abort(placed[len(committed):], outcome, now)
+                self._compensate(committed, outcome, now, ctx)
+                self._abort(placed[len(committed):], outcome, now, ctx)
                 probe.reason = (
                     RejectReason.SHARD_UNREACHABLE
                     if isinstance(exc, ShardUnreachable)
@@ -354,6 +377,7 @@ class TwoPhaseCoordinator:
         placed: list[tuple[Channel, Hold]],
         outcome: TwoPhaseOutcome,
         now: float,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Roll the transaction back: release every hold we placed.
 
@@ -365,7 +389,9 @@ class TwoPhaseCoordinator:
         """
         for channel, hold in placed:
             try:
-                channel.abort_hold(hold.hold_id, now=now)
+                channel.abort_hold(
+                    hold.hold_id, now=now, ctx=child_of(ctx, f"abort:{hold.side}")
+                )
             except ChannelTimeout:
                 outcome.stranded += 1
         outcome.aborted = True
@@ -375,10 +401,19 @@ class TwoPhaseCoordinator:
         committed: list[tuple[Channel, Hold]],
         outcome: TwoPhaseOutcome,
         now: float,
+        ctx: TraceContext | None = None,
     ) -> None:
         """Undo committed halves of a failed transaction (never lost)."""
         for channel, hold in committed:
-            channel.release(hold.side, hold.port, hold.t0, hold.t1, hold.bw, now=now)
+            channel.release(
+                hold.side,
+                hold.port,
+                hold.t0,
+                hold.t1,
+                hold.bw,
+                now=now,
+                ctx=child_of(ctx, f"release:{hold.side}"),
+            )
             outcome.compensations += 1
 
     def _with_retry(self, call: Callable[[], _T], outcome: TwoPhaseOutcome) -> _T:

@@ -19,15 +19,28 @@ Wall-clock timing never enters this package's data: benchmarks inject a
 """
 
 from .artifact import RunTelemetry
+from .causal import CausalObserver, TraceContext, child_of, explain_request
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfclock import PerfClock, TickClock, WallClock
+from .recorder import FlightEntry, FlightRecorder
 from .schema import (
     ARTIFACT_SCHEMA,
     CHROME_TRACE_SCHEMA,
+    FLIGHT_RECORDER_SCHEMA,
     SchemaError,
     validate,
     validate_artifact,
     validate_chrome_trace,
+    validate_flight_dump,
+)
+from .slo import (
+    SLO_METRICS,
+    SloBreach,
+    SloRule,
+    SloWatchdog,
+    default_slo_rules,
+    evaluate_artifact,
+    load_rules,
 )
 from .summary import ArtifactSummary, summarize
 from .telemetry import (
@@ -43,8 +56,13 @@ from .tracer import Span, SpanTracer
 __all__ = [
     "ARTIFACT_SCHEMA",
     "CHROME_TRACE_SCHEMA",
+    "FLIGHT_RECORDER_SCHEMA",
+    "SLO_METRICS",
     "ArtifactSummary",
+    "CausalObserver",
     "Counter",
+    "FlightEntry",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -52,12 +70,20 @@ __all__ = [
     "PerfClock",
     "RunTelemetry",
     "SchemaError",
+    "SloBreach",
+    "SloRule",
+    "SloWatchdog",
     "Span",
     "SpanTracer",
     "Telemetry",
     "TelemetryEvent",
     "TickClock",
+    "TraceContext",
     "WallClock",
+    "child_of",
+    "default_slo_rules",
+    "evaluate_artifact",
+    "explain_request",
     "get_telemetry",
     "set_telemetry",
     "summarize",
@@ -65,4 +91,5 @@ __all__ = [
     "validate",
     "validate_artifact",
     "validate_chrome_trace",
+    "validate_flight_dump",
 ]

@@ -9,9 +9,13 @@ Examples::
     grid-obs convert results/run.json --to prometheus
     grid-obs validate results/run.json
     grid-obs validate trace.json --kind chrome
+    grid-obs explain 7 results/run.json --journal results/run.journal.jsonl
+    grid-obs slo results/run.json --rules slo_rules.json
 
 Exit codes follow the gridlint convention: ``0`` success, ``1`` the
-document failed validation, ``2`` usage error (missing file, bad format).
+document failed validation (or, for ``explain``, the rid is unknown; for
+``slo``, an objective was breached), ``2`` usage error (missing file,
+bad format).
 """
 
 from __future__ import annotations
@@ -26,8 +30,15 @@ from typing import Any
 
 from ..core.errors import ReproError
 from .artifact import RunTelemetry
+from .causal import explain_request
 from .metrics import MetricsRegistry
-from .schema import SchemaError, validate_artifact, validate_chrome_trace
+from .schema import (
+    SchemaError,
+    validate_artifact,
+    validate_chrome_trace,
+    validate_flight_dump,
+)
+from .slo import default_slo_rules, evaluate_artifact, load_rules
 from .summary import summarize
 from .tracer import SpanTracer
 
@@ -61,10 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("document", help="path to the JSON document")
     validate.add_argument(
         "--kind",
-        choices=("artifact", "chrome", "auto"),
+        choices=("artifact", "chrome", "flight", "auto"),
         default="auto",
         help="schema to apply (auto sniffs the document)",
     )
+
+    explain = sub.add_parser(
+        "explain", help="reconstruct one request's causal timeline"
+    )
+    explain.add_argument("rid", type=int, help="the request id to explain")
+    explain.add_argument("artifact", help="path to a run-telemetry JSON artifact")
+    explain.add_argument(
+        "--journal",
+        default=None,
+        help="gateway journal (JSONL) to interleave into the timeline",
+    )
+
+    slo = sub.add_parser(
+        "slo", help="evaluate an artifact against service-level objectives"
+    )
+    slo.add_argument("artifact", help="path to a run-telemetry JSON artifact")
+    slo.add_argument(
+        "--rules",
+        default=None,
+        help="JSON rules file (defaults to the built-in gateway objectives)",
+    )
+    slo.add_argument("--json", action="store_true", help="emit the verdict as JSON")
     return parser
 
 
@@ -116,6 +149,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _sniff_kind(document: Any) -> str:
     if isinstance(document, dict) and document.get("format") == "repro-run-telemetry":
         return "artifact"
+    if isinstance(document, dict) and document.get("format") == "repro-flight-recorder":
+        return "flight"
     if isinstance(document, dict) and "traceEvents" in document:
         return "chrome"
     return "artifact"
@@ -127,6 +162,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     try:
         if kind == "artifact":
             validate_artifact(document)
+        elif kind == "flight":
+            validate_flight_dump(document)
         else:
             validate_chrome_trace(document)
     except SchemaError as exc:
@@ -134,6 +171,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 1
     print(f"OK: valid {kind} document")
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    artifact = _load_json(args.artifact)
+    validate_artifact(artifact)
+    journal = None
+    if args.journal is not None:
+        from ..control.journal import Journal  # local: obs must stay core-only
+
+        journal = Journal.load(args.journal)
+    story = explain_request(artifact, args.rid, journal=journal)
+    if story is None:
+        print(f"no record of rid {args.rid} in {args.artifact}", file=sys.stderr)
+        return 1
+    print(story)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    artifact = _load_json(args.artifact)
+    validate_artifact(artifact)
+    rules = load_rules(args.rules) if args.rules is not None else default_slo_rules()
+    verdict = evaluate_artifact(artifact, rules)
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        for capture in verdict["captures"]:
+            status = "ok" if capture["ok"] else "BREACH"
+            print(f"{capture['label'] or '<unlabeled>'}: {status}")
+            for breach in capture["breaches"]:
+                print(
+                    f"  {breach['rule']}: {breach['metric']} {breach['bound']} "
+                    f"{breach['threshold']:g} but saw {breach['value']:g} "
+                    f"at t={breach['at']:g}"
+                )
+        print(f"slo: {'ok' if verdict['ok'] else 'BREACH'}")
+    return 0 if verdict["ok"] else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -146,6 +220,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_convert(args)
         if args.command == "validate":
             return _cmd_validate(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "slo":
+            return _cmd_slo(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         # Detach stdout so interpreter shutdown does not re-raise on flush.

@@ -25,6 +25,12 @@ __all__ = ["ArtifactSummary", "SpanRow", "summarize"]
 SUBMITS_TOTAL = "service_submits_total"
 REJECTS_TOTAL = "service_rejects_total"
 PORT_PEAK_UTILIZATION = "service_port_peak_utilization"
+#: ... and their sharded-gateway twins, so one summary covers both planes:
+#: ``shard-unreachable`` rejections (message-level faults) land here.
+GATEWAY_SUBMITS_TOTAL = "gateway_submits_total"
+GATEWAY_REJECTS_TOTAL = "gateway_rejects_total"
+#: Backlog re-admissions, tallied across both control planes.
+READMISSIONS_TOTALS = ("service_readmissions_total", "gateway_readmissions_total")
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +53,8 @@ class ArtifactSummary:
     accepted: int
     rejected: int
     reject_reasons: dict[str, int] = field(default_factory=dict)
+    #: Backlogged rejections later re-admitted (service + gateway planes).
+    readmissions: int = 0
     #: ``(side, port) -> peak utilisation`` (committed bandwidth / capacity).
     port_peaks: dict[tuple[str, int], float] = field(default_factory=dict)
     span_table: list[SpanRow] = field(default_factory=list)
@@ -68,6 +76,7 @@ class ArtifactSummary:
             "rejected": self.rejected,
             "accept_rate": self.accept_rate,
             "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "readmissions": self.readmissions,
             "port_peaks": {
                 f"{side}:{port}": peak for (side, port), peak in sorted(self.port_peaks.items())
             },
@@ -99,6 +108,8 @@ class ArtifactSummary:
             ranked = sorted(self.reject_reasons.items(), key=lambda kv: (-kv[1], kv[0]))
             for reason, count in ranked:
                 lines.append(f"  {reason:28s} {count}")
+        if self.readmissions:
+            lines.append(f"backlog re-admissions: {self.readmissions}")
         if self.port_peaks:
             lines.append("per-port peak utilisation:")
             for (side, port), peak in sorted(self.port_peaks.items()):
@@ -126,23 +137,30 @@ def summarize(artifact: RunTelemetry) -> ArtifactSummary:
     accepted = 0
     rejected = 0
     reject_reasons: dict[str, int] = {}
+    readmissions = 0
     port_peaks: dict[tuple[str, int], float] = {}
     counters: dict[str, float] = {}
     events = 0
 
     for registry in _iter_registries(artifact):
-        submits = registry.get(SUBMITS_TOTAL)
-        if isinstance(submits, Counter):
-            for labels, value in submits.samples():
-                if labels.get("outcome") == "accepted":
-                    accepted += int(value)
-                elif labels.get("outcome") == "rejected":
-                    rejected += int(value)
-        rejects = registry.get(REJECTS_TOTAL)
-        if isinstance(rejects, Counter):
-            for labels, value in rejects.samples():
-                reason = labels.get("reason", "unspecified")
-                reject_reasons[reason] = reject_reasons.get(reason, 0) + int(value)
+        for metric in (SUBMITS_TOTAL, GATEWAY_SUBMITS_TOTAL):
+            submits = registry.get(metric)
+            if isinstance(submits, Counter):
+                for labels, value in submits.samples():
+                    if labels.get("outcome") == "accepted":
+                        accepted += int(value)
+                    elif labels.get("outcome") == "rejected":
+                        rejected += int(value)
+        for metric in (REJECTS_TOTAL, GATEWAY_REJECTS_TOTAL):
+            rejects = registry.get(metric)
+            if isinstance(rejects, Counter):
+                for labels, value in rejects.samples():
+                    reason = labels.get("reason", "unspecified")
+                    reject_reasons[reason] = reject_reasons.get(reason, 0) + int(value)
+        for metric in READMISSIONS_TOTALS:
+            readmits = registry.get(metric)
+            if isinstance(readmits, Counter):
+                readmissions += int(readmits.total())
         peaks = registry.get(PORT_PEAK_UTILIZATION)
         if isinstance(peaks, Gauge):
             for labels, value in peaks.samples():
@@ -179,6 +197,7 @@ def summarize(artifact: RunTelemetry) -> ArtifactSummary:
         accepted=accepted,
         rejected=rejected,
         reject_reasons=reject_reasons,
+        readmissions=readmissions,
         port_peaks=port_peaks,
         span_table=table,
         events=events,

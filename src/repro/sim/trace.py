@@ -83,16 +83,43 @@ class EventTrace:
 
         ``dropped`` counts FIFO evictions by the capacity bound, so
         ``recorded = retained + dropped`` is the true number of dispatches
-        even when only the tail was kept.
+        even when only the tail was kept.  Admission-shaped payloads are
+        tallied too: any record whose payload carries a ``reason`` (a
+        :class:`~repro.core.booking.RejectReason` or its string value —
+        ``shard-unreachable`` being the one chaos drills care about) lands
+        in ``reject_reasons``, and records labeled as re-admissions count
+        toward ``readmissions``.
         """
         labels: dict[str, int] = {}
+        reject_reasons: dict[str, int] = {}
+        readmissions = 0
         for record in self._records:
             labels[record.label] = labels.get(record.label, 0) + 1
+            reason = self._reason_of(record.payload)
+            if reason is not None:
+                reject_reasons[reason] = reject_reasons.get(reason, 0) + 1
+            if "readmit" in record.label:
+                readmissions += 1
         return {
             "retained": len(self._records),
             "dropped": self._dropped,
             "recorded": len(self._records) + self._dropped,
             "labels": dict(sorted(labels.items())),
+            "reject_reasons": dict(sorted(reject_reasons.items())),
+            "readmissions": readmissions,
             "first_time": self._records[0].time if self._records else None,
             "last_time": self._records[-1].time if self._records else None,
         }
+
+    @staticmethod
+    def _reason_of(payload: Any) -> str | None:
+        """Normalised reject reason carried by a payload, if any."""
+        reason: Any = None
+        if isinstance(payload, dict):
+            reason = payload.get("reason")
+        elif hasattr(payload, "reason"):
+            reason = payload.reason
+        if reason is None:
+            return None
+        value = getattr(reason, "value", reason)  # RejectReason -> its string
+        return value if isinstance(value, str) else str(value)

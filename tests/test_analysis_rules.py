@@ -67,6 +67,15 @@ class TestGL001WallClock:
         report = _scan(tmp_path / "c", source, filename="obs/tracer.py")
         assert len(_active(report, "GL001")) == 1
 
+    def test_flight_recorder_joins_the_clock_allowlist(self, tmp_path):
+        # Post-mortem dumps may stamp host metadata; the SLO watchdog (and
+        # every other obs sibling) still must not read the wall clock.
+        source = "import time\n\ndef dumped_at():\n    return time.time()\n"
+        report = _scan(tmp_path / "a", source, filename="obs/recorder.py")
+        assert _active(report, "GL001") == []
+        report = _scan(tmp_path / "b", source, filename="obs/slo.py")
+        assert len(_active(report, "GL001")) == 1
+
     def test_suppression(self, tmp_path):
         report = _scan(
             tmp_path,

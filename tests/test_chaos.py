@@ -34,6 +34,7 @@ from repro.gateway import (
     check_gateway,
     hold_expired,
 )
+from repro.obs import Telemetry
 from repro.schedulers.retry import BackoffSchedule
 
 
@@ -608,6 +609,58 @@ class TestChaosOffEquivalence:
         assert gw_none.snapshot() == gw_zero.snapshot()
         assert vars(gw_none.stats) == vars(gw_zero.stats)
 
+    def test_chaos_off_leaves_edge_channel_counters_untouched(self):
+        telemetry = Telemetry()
+        gw = Gateway(platform(), num_shards=2, batch_size=2, telemetry=telemetry)
+        self.drive(gw)
+        channel_metrics = [
+            n for n in telemetry.metrics.names() if n.startswith("gateway_channel_")
+        ]
+        assert channel_metrics == []
+
+    def test_zero_policy_publishes_only_genuine_deliveries(self):
+        telemetry = Telemetry()
+        gw = Gateway(
+            platform(),
+            num_shards=2,
+            batch_size=2,
+            chaos=ChaosPolicy(seed=0),
+            telemetry=telemetry,
+        )
+        self.drive(gw)
+        deliveries = telemetry.metrics.get("gateway_channel_deliveries_total")
+        assert deliveries is not None and deliveries.total() > 0
+        # Every sample is labeled with its coordinator→broker edge.
+        assert all("shard" in labels for labels, _ in deliveries.samples())
+        # No fault-class counter ever registers under a zero policy: the
+        # publication is delta-based, so the metrics simply never appear.
+        fault_metrics = [
+            n
+            for n in telemetry.metrics.names()
+            if n.startswith("gateway_channel_")
+            and n != "gateway_channel_deliveries_total"
+        ]
+        assert fault_metrics == []
+
+    def test_lossy_chaos_surfaces_labeled_edge_counters(self):
+        telemetry = Telemetry()
+        gw = Gateway(
+            platform(),
+            num_shards=2,
+            batch_size=2,
+            chaos=ChaosPolicy.lossy(seed=4),
+            backoff=BackoffSchedule(base=1.0, max_attempts=4),
+            rpc_deadline=120.0,
+            backlog_limit=4,
+            telemetry=telemetry,
+        )
+        self.drive(gw)
+        assert gw.stats.chaos_drops > 0
+        dropped = telemetry.metrics.get("gateway_channel_dropped_total")
+        assert dropped is not None and dropped.total() > 0
+        shards = {labels["shard"] for labels, _ in dropped.samples()}
+        assert shards <= {"0", "1"} and shards
+
     def test_chaotic_journal_replay_converges(self):
         journal = Journal()
         gw = Gateway(
@@ -649,6 +702,32 @@ class TestChaosMatrix:
         assert any(c["readmitted"] > 0 for c in report.cells)
         doc = report.to_dict()
         assert doc["ok"] is True and len(doc["cells"]) == len(report.cells)
+
+    def test_matrix_cells_carry_slo_verdicts(self, tmp_path):
+        report = run_chaos_matrix(
+            platform(8),
+            lambda seed: chaotic_workload(seed, n=16),
+            seeds=[0],
+            scenarios=["clean", "lossy"],
+            horizon=600.0,
+            tracing=True,
+            flight_dir=tmp_path,
+        )
+        assert report.ok
+        for cell in report.cells:
+            verdict = cell["slo"]
+            assert set(verdict) >= {"ok", "breaches", "rules"}
+            assert verdict["rules"], "every cell evaluates a non-empty rule set"
+        assert report.slo_ok == all(c["slo"]["ok"] for c in report.cells)
+        doc = report.to_dict()
+        assert doc["slo_ok"] == report.slo_ok
+        # Tracing captured one telemetry handle per cell under a stable label.
+        assert report.telemetry is not None
+        labels = {c["label"] for c in report.telemetry.captures()}
+        assert labels == {"seed=0/clean", "seed=0/lossy"}
+        # Invariant-clean cells leave no post-mortems behind.
+        assert report.flight_paths == []
+        assert list(tmp_path.iterdir()) == []
 
     def test_drill_accepts_chaos_parameters(self):
         report = run_gateway_fault_drill(

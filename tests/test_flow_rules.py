@@ -340,6 +340,53 @@ class TestGL013NondetTaint:
         # GL001 still flags the bare call; the *flow* rule must not.
         assert _active(report, "GL013") == []
 
+    def test_fires_on_wall_clock_into_flight_recorder(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            import time
+
+            def note(self, component, kind):
+                stamp = time.time()
+                self.recorder.record(component, stamp, kind)
+            """,
+        )
+        findings = _active(report, "GL013")
+        assert len(findings) == 1
+        assert "recorder.record" in findings[0].message
+
+    def test_fires_on_rng_into_slo_breach(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            import random
+
+            def breach(rule):
+                observed = random.random()
+                return SloBreach(
+                    rule=rule.name,
+                    metric=rule.metric,
+                    bound=rule.bound,
+                    threshold=rule.threshold,
+                    value=observed,
+                    at=0.0,
+                )
+            """,
+        )
+        findings = _active(report, "GL013")
+        assert len(findings) == 1
+        assert "SloBreach" in findings[0].message
+
+    def test_quiet_on_recorder_fed_simulated_time(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            """\
+            def note(self, component, kind, now):
+                self.recorder.record(component, now, kind)
+            """,
+        )
+        assert _active(report, "GL013") == []
+
     def test_suppression(self, tmp_path):
         report = _scan(
             tmp_path,

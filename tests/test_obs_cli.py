@@ -50,6 +50,74 @@ class TestSummary:
         assert main(["summary", str(bogus)]) == 2
 
 
+class TestGatewayPlaneSummary:
+    """Satellite regression: summaries cover the sharded-gateway counters —
+    shard-unreachable rejections and backlog re-admissions included."""
+
+    def _partitioned_artifact(self, tmp_path):
+        import random
+
+        from repro.core.platform import Platform
+        from repro.gateway import ChaosPolicy, Gateway
+        from repro.schedulers.retry import BackoffSchedule
+
+        telemetry = Telemetry()
+        gw = Gateway(
+            Platform.uniform(4, 4, 1000.0),
+            num_shards=2,
+            batch_size=2,
+            chaos=ChaosPolicy.with_partition(1, 0.0, 150.0, seed=0),
+            backoff=BackoffSchedule(base=1.0, max_attempts=4),
+            rpc_deadline=60.0,
+            backlog_limit=8,
+            telemetry=telemetry,
+        )
+        rng = random.Random(11)
+        arrivals = sorted(
+            (
+                rng.uniform(0.0, 300.0),
+                rng.randrange(4),
+                rng.randrange(4),
+                rng.uniform(10.0, 40.0),
+                rng.uniform(60.0, 200.0),
+            )
+            for _ in range(20)
+        )
+        for t0, ingress, egress, rate, duration in arrivals:
+            gw.submit(
+                ingress=ingress,
+                egress=egress,
+                volume=0.5 * rate * duration,
+                deadline=t0 + duration,
+                now=t0,
+                max_rate=rate,
+            )
+        gw.drain(500.0)
+        assert gw.stats.readmitted > 0, "fixture must exercise the backlog"
+        artifact = RunTelemetry("partition-run")
+        artifact.capture("run", telemetry)
+        path = tmp_path / "partition.json"
+        artifact.save(path)
+        return path
+
+    def test_summary_surfaces_unreachable_shards_and_readmissions(self, tmp_path, capsys):
+        path = self._partitioned_artifact(tmp_path)
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-unreachable" in out
+        assert "backlog re-admissions:" in out
+
+    def test_json_summary_counts_both_planes(self, tmp_path, capsys):
+        path = self._partitioned_artifact(tmp_path)
+        assert main(["summary", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["reject_reasons"].get("shard-unreachable", 0) > 0
+        assert data["readmissions"] > 0
+        assert data["accepted"] > 0
+        # The per-edge channel counters ride along in the counter table.
+        assert any(k.startswith("gateway_channel_") for k in data["counters"])
+
+
 class TestConvert:
     def test_to_chrome_writes_valid_trace(self, artifact_path, tmp_path, capsys):
         out_path = tmp_path / "trace.json"

@@ -61,6 +61,72 @@ class TestCapacity:
             SpanTracer(capacity=0)
 
 
+class TestTracedRunDeterminism:
+    """Satellite contract: capped tracing drops exactly, exports bytes."""
+
+    def _traced_run(self, max_spans=None):
+        import random
+
+        from repro.core.platform import Platform
+        from repro.gateway import ChaosPolicy, Gateway
+        from repro.obs import RunTelemetry, Telemetry
+
+        telemetry = Telemetry(max_spans=max_spans)
+        gw = Gateway(
+            Platform.uniform(4, 4, 1000.0),
+            num_shards=2,
+            batch_size=2,
+            chaos=ChaosPolicy.lossy(seed=3),
+            rpc_deadline=60.0,
+            backlog_limit=4,
+            telemetry=telemetry,
+        )
+        rng = random.Random(42)
+        arrivals = sorted(
+            (
+                rng.uniform(0.0, 200.0),
+                rng.randrange(4),
+                rng.randrange(4),
+                rng.uniform(100.0, 900.0),
+                rng.uniform(60.0, 180.0),
+            )
+            for _ in range(15)
+        )
+        for t0, ingress, egress, volume, window in arrivals:
+            gw.submit(
+                ingress=ingress,
+                egress=egress,
+                volume=volume,
+                deadline=t0 + window,
+                now=t0,
+            )
+        gw.drain(400.0)
+        artifact = RunTelemetry("tracer-determinism")
+        artifact.capture("run", telemetry)
+        return telemetry, artifact
+
+    def test_capped_tracer_accounts_every_drop(self):
+        unbounded, _ = self._traced_run()
+        total = len(unbounded.tracer)
+        assert total > 5
+        capped, _ = self._traced_run(max_spans=5)
+        assert len(capped.tracer) == 5
+        assert capped.tracer.dropped == total - 5
+        # The retained tail is exactly the last five spans of the full run.
+        tail = [s.to_dict() for s in list(iter(unbounded.tracer))[-5:]]
+        assert [s.to_dict() for s in capped.tracer] == tail
+
+    def test_traced_export_is_byte_identical_across_runs(self):
+        _, first = self._traced_run()
+        _, second = self._traced_run()
+        assert first.to_json() == second.to_json()
+
+    def test_capped_export_is_byte_identical_too(self):
+        _, first = self._traced_run(max_spans=7)
+        _, second = self._traced_run(max_spans=7)
+        assert first.to_json() == second.to_json()
+
+
 class TestChromeTrace:
     def _tracer(self):
         tracer = SpanTracer()

@@ -184,6 +184,35 @@ class TestEventTrace:
         assert digest["first_time"] is None
         assert digest["last_time"] is None
 
+    def test_summary_tallies_reject_reasons_and_readmissions(self):
+        from repro.core.booking import RejectReason
+
+        trace = EventTrace()
+        trace.append(0.0, "gw_submit", {"rid": 0, "outcome": "accepted"})
+        # Enum payloads and pre-stringified ones normalise to the same key.
+        trace.append(1.0, "gw_reject", {"rid": 1, "reason": RejectReason.SHARD_UNREACHABLE})
+        trace.append(2.0, "gw_reject", {"rid": 2, "reason": "shard-unreachable"})
+        trace.append(3.0, "gw_reject", {"rid": 3, "reason": RejectReason.WINDOW_INFEASIBLE})
+        trace.append(4.0, "gw_readmit", {"rid": 1, "origin": 1})
+        trace.append(5.0, "backlog_readmit_attempt", {"rid": 2})
+        digest = trace.summary()
+        assert digest["reject_reasons"]["shard-unreachable"] == 2
+        assert digest["reject_reasons"][RejectReason.WINDOW_INFEASIBLE.value] == 1
+        assert digest["readmissions"] == 2
+
+    def test_summary_reads_attribute_style_payloads(self):
+        class Decision:
+            reason = "no-capacity"
+
+        trace = EventTrace(capacity=2)
+        trace.append(0.0, "old", Decision())  # evicted below
+        trace.append(1.0, "gw_reject", Decision())
+        trace.append(2.0, "gw_reject", Decision())
+        digest = trace.summary()
+        assert digest["reject_reasons"] == {"no-capacity": 2}
+        assert digest["dropped"] == 1 and digest["recorded"] == 3
+        assert digest["readmissions"] == 0
+
     def test_fifo_eviction_keeps_newest_tail(self):
         # Regression guard: eviction must discard the *oldest* records and
         # the dropped counter must keep the true dispatch count.
