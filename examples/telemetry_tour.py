@@ -59,7 +59,9 @@ print("\n".join(telemetry.metrics.to_prometheus_text().splitlines()[:18]))
 # --- 2. spans --------------------------------------------------------
 trace = telemetry.tracer.to_chrome_trace()
 validate_chrome_trace(trace)
-trace_path = Path("telemetry_trace.json")
+out_dir = Path(__file__).parent / "out"
+out_dir.mkdir(exist_ok=True)
+trace_path = out_dir / "telemetry_trace.json"
 trace_path.write_text(json.dumps(trace, indent=2, sort_keys=True))
 print("=" * 70)
 print(f"Chrome trace with {len(trace['traceEvents'])} events -> {trace_path}")
@@ -75,7 +77,7 @@ if rejected:
 # --- 4. the run artifact + summary ------------------------------------
 artifact = RunTelemetry("telemetry-tour", meta={"seed": 42, "requests": 120})
 artifact.capture("run", telemetry, results={"accept_rate": service.accept_rate()})
-artifact_path = Path("telemetry_tour.json")
+artifact_path = out_dir / "telemetry_tour.json"
 artifact.save(artifact_path)
 print("=" * 70)
 print(f"run artifact -> {artifact_path}  (inspect with: grid-obs summary {artifact_path})")

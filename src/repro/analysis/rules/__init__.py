@@ -22,6 +22,7 @@ from .hold_leak import HoldLeakRule
 from .twophase_order import TwoPhaseOrderRule
 from .nondet_taint import NondetTaintRule
 from .shard_aliasing import ShardAliasingRule
+from .route_registry import RouteRegistryRule
 
 __all__ = ["all_rules", "default_rules", "rules_by_id"]
 
@@ -40,6 +41,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     TwoPhaseOrderRule,
     NondetTaintRule,
     ShardAliasingRule,
+    RouteRegistryRule,
 )
 
 

@@ -1,0 +1,101 @@
+"""GL015 — every service endpoint handler is reachable through the route table.
+
+The service plane (``repro.serve``) declares its public API in one
+registry, ``serve/routes.py``; handlers themselves live one module per
+resource under ``serve/api/``.  A ``handle_*`` coroutine that the route
+table forgets is not an error anywhere else — the module imports, the
+tests that call the handler directly pass — but over HTTP the endpoint
+silently 404s.  This is GL005's registry-completeness argument applied
+to the HTTP surface: name-based reachability must be checked, not
+assumed.
+
+Project-wide: collect every function whose name starts with ``handle_``
+defined in a module under a ``serve/api/`` tree, then require each name
+to be referenced in that tree's ``serve/routes.py``.  Fixture trees and
+the real package group independently (same mechanism as GL005).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..engine import Finding, Module, Project, Rule
+
+__all__ = ["RouteRegistryRule"]
+
+_MARKER = "serve/api/"
+
+
+def _handler_defs(module: Module) -> Iterable[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name.startswith(
+            "handle_"
+        ):
+            yield node
+
+
+def _referenced_names(module: Module) -> set[str]:
+    names = {node.id for node in ast.walk(module.tree) if isinstance(node, ast.Name)}
+    # ``from .api... import handle_x`` references count too (the table
+    # imports handlers before binding them).
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            names.update(alias.asname or alias.name for alias in node.names)
+    return names
+
+
+class RouteRegistryRule(Rule):
+    """Flag ``handle_*`` endpoint coroutines absent from the route table."""
+
+    rule_id: ClassVar[str] = "GL015"
+    title: ClassVar[str] = "route-registry"
+    severity: ClassVar[str] = "error"
+    allowlist: ClassVar[tuple[str, ...]] = ("tests/",)
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        # Group endpoint modules by their serve/ tree so rule fixtures and
+        # the real package are handled identically.
+        groups: dict[str, list[Module]] = {}
+        for module in project.modules:
+            if not self.applies_to(module):
+                continue
+            idx = module.relpath.rfind(_MARKER)
+            if idx < 0:
+                continue
+            prefix = module.relpath[: idx + len("serve/")]  # "...serve/"
+            groups.setdefault(prefix, []).append(module)
+        for prefix, modules in groups.items():
+            registry = next(
+                (
+                    m
+                    for m in project.modules
+                    if m.relpath == prefix + "routes.py"
+                ),
+                None,
+            )
+            if registry is None:
+                # No route table in this tree: every handler is unreachable.
+                for module in modules:
+                    for node in _handler_defs(module):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"endpoint handler {getattr(node, 'name', '?')} has no "
+                            f"route table ({prefix}routes.py is missing)",
+                        )
+                continue
+            registered = _referenced_names(registry)
+            for module in modules:
+                for node in _handler_defs(module):
+                    name = getattr(node, "name", "?")
+                    if name in registered:
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"endpoint handler {name} is not referenced in "
+                        f"{prefix}routes.py; an unrouted handler silently 404s "
+                        "over HTTP — bind it in ROUTE_TABLE",
+                    )

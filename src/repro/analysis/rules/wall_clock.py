@@ -54,6 +54,12 @@ class WallClockRule(Rule):
         # but a saved post-mortem dump may stamp host metadata (when the
         # artifact was written) without touching replayed state.
         "obs/recorder.py",
+        # The service plane's wall↔sim seam: WallServiceClock maps
+        # time.monotonic() onto the gateway's time axis.  Every other
+        # serve module takes a ServiceClock — the deterministic
+        # LogicalClock drives the same code in tests and equivalence
+        # suites.
+        "serve/clock.py",
     )
 
     def check(self, module: Module) -> Iterable[Finding]:

@@ -70,6 +70,22 @@ class EdgeLimiter:
         self.refused += 1
         return False
 
+    def retry_after(self, client: str, volume: float, now: float) -> float:
+        """Seconds until ``volume`` would conform for ``client``.
+
+        The boundary mirrors the hold-TTL convention (``hold_expired``):
+        at *exactly* ``now + retry_after`` the offer conforms — the refill
+        instant itself is on the admitting side, so a client that sleeps
+        the hinted duration and retries is never refused again by the same
+        deficit.  ``0.0`` means the volume conforms right now (the refusal
+        was for a different client or already healed); ``inf`` means the
+        volume exceeds the burst and can never conform in one piece.
+        """
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            return 0.0
+        return max(0.0, bucket.earliest_conforming(now, volume) - now)
+
     def clients(self) -> list[str]:
         """Every client seen so far (deterministic order)."""
         return sorted(self._buckets)

@@ -121,6 +121,10 @@ class Ticket:
     request: Request
     #: Refused by the per-client edge limiter (never entered a batch).
     edge_refused: bool = False
+    #: Seconds until the refused volume would conform again (edge refusals
+    #: only; ``inf`` when the volume exceeds the burst).  The service
+    #: plane surfaces this as an HTTP 429 ``Retry-After`` hint.
+    retry_after: float | None = None
     #: The admission decision; ``None`` while the batch is still open.
     reservation: Reservation | None = None
     origin: int | None = None
@@ -387,10 +391,12 @@ class Gateway:
             max_rate = self.platform.bottleneck(ingress, egress)
         if origin is not None and origin not in self._reservations:
             raise KeyError(f"unknown origin reservation {origin}")
-        rid = self._take_rid()
         # Structural validation happens in the Request constructor and
         # propagates as InvalidRequestError (malformed, not rejected) —
-        # nothing is journaled for a submission that never existed.
+        # nothing is journaled for a submission that never existed, so the
+        # rid is only consumed after construction succeeds (a burned rid
+        # with no journal entry would diverge on replay).
+        rid = self._next_rid
         request = Request(
             rid=rid,
             ingress=ingress,
@@ -400,6 +406,7 @@ class Gateway:
             t_end=deadline,
             max_rate=max_rate,
         )
+        self._next_rid += 1
         seq = self._next_seq
         self._next_seq += 1
         ticket = Ticket(seq=seq, client=client, request=request, origin=origin)
@@ -441,6 +448,7 @@ class Gateway:
             )
         if self.edge is not None and not self.edge.admit(client, volume, now):
             ticket.edge_refused = True
+            ticket.retry_after = self.edge.retry_after(client, volume, now)
             self.stats.edge_refused += 1
             self._trace_event(
                 "gateway", now, "gateway.trace.edge_refused", ctx, rid=rid, client=client
@@ -464,6 +472,32 @@ class Gateway:
         if self.batcher.full:
             self._flush(now)
         return ticket
+
+    def submit_many(
+        self,
+        submissions: list[dict[str, Any]],
+        *,
+        now: float,
+        drain: bool = True,
+    ) -> list[Ticket]:
+        """Admit a whole wave of submissions at one instant, then decide.
+
+        This is the service plane's hot path: the asyncio frontier
+        coalesces concurrent in-flight HTTP submits into one wave so the
+        admission pipeline sees full batches (the batcher still splits the
+        wave at ``batch_size``) instead of degenerate singletons.  Each
+        entry is a keyword dict for :meth:`submit` minus ``now``; with
+        ``drain=True`` (default) the trailing partial batch is flushed so
+        every returned ticket is decided.
+
+        Runs synchronously on the caller's thread — safe to call from a
+        single-threaded event loop between ``await`` points, because
+        nothing here yields.
+        """
+        tickets = [self.submit(**fields, now=now) for fields in submissions]
+        if drain and len(self.batcher):
+            self.drain(now)
+        return tickets
 
     def drain(self, now: float | None = None) -> None:
         """Force the open batch to decide now (journaled — order matters)."""
@@ -1288,4 +1322,31 @@ class Gateway:
                 gateway.restart_broker(int(args["shard"]), now=entry.now)
             else:  # pragma: no cover - Journal validates ops on construction
                 raise ConfigurationError(f"unknown gateway journal op {entry.op!r}")
+        return gateway
+
+    @classmethod
+    def resume(
+        cls,
+        journal: Journal,
+        *,
+        telemetry: Telemetry | None = None,
+        slo: SloWatchdog | None = None,
+        recorder: FlightRecorder | None = None,
+    ) -> Gateway:
+        """Replay a journal into a gateway that keeps *living* on it.
+
+        The service plane's restart path: :meth:`replay` deliberately
+        rebuilds without observability wiring (replayed history must not
+        re-emit metrics or SLO samples — it already happened), then this
+        re-attaches the live handles and re-arms the journal so new
+        operations append after the replayed ones.
+        """
+        gateway = cls.replay(journal)
+        gateway._telemetry = telemetry
+        gateway.slo = slo
+        gateway.recorder = recorder
+        gateway._observer = CausalObserver(lambda: gateway.telemetry, recorder=recorder)
+        for channel in gateway.coordinator.channels:
+            channel.observer = gateway._observer
+        gateway.journal = journal
         return gateway

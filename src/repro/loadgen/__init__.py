@@ -1,0 +1,41 @@
+"""``repro.loadgen`` — a closed-loop async load harness for ``repro.serve``.
+
+Thousands of seeded clients drive the admission service over real
+sockets and report wall-clock admission latency percentiles
+(p50/p99/p999), accept rate, reject-reason mix, and per-endpoint
+throughput as a schema-validated JSON artifact.
+
+Layout mirrors the service it exercises:
+
+- :mod:`~repro.loadgen.client` — a keep-alive HTTP/1.1 client on raw
+  asyncio streams (no new dependencies);
+- :mod:`~repro.loadgen.plan` — submission bodies drawn from the
+  :mod:`repro.workload` distributions (seeded, replayable);
+- :mod:`~repro.loadgen.runner` — the client fleet, pacing, and the
+  latency recorder;
+- :mod:`~repro.loadgen.report` — the artifact schema and percentile
+  arithmetic;
+- :mod:`~repro.loadgen.cli` — the ``grid-loadgen`` entry point.
+
+Host-clock reads stay out of this package: latency timing goes through
+the injectable :class:`repro.obs.perfclock.PerfClock` (GL001's existing
+benchmark exemption), so tests can drive the whole harness with a
+deterministic :class:`~repro.obs.perfclock.TickClock`.
+"""
+
+from .client import ClientResponse, ServiceClient
+from .plan import SubmissionPlan
+from .report import LOADGEN_SCHEMA, LatencySummary, LoadReport, percentile
+from .runner import LoadgenConfig, run_load
+
+__all__ = [
+    "LOADGEN_SCHEMA",
+    "ClientResponse",
+    "LatencySummary",
+    "LoadReport",
+    "LoadgenConfig",
+    "ServiceClient",
+    "SubmissionPlan",
+    "percentile",
+    "run_load",
+]

@@ -1,0 +1,140 @@
+"""A minimal keep-alive HTTP/1.1 client on asyncio streams.
+
+The load harness cannot pull in an HTTP library (stdlib-only repo), and
+``http.client`` is blocking — so this is the mirror image of
+:mod:`repro.serve.http`: request rendering and response parsing over
+``asyncio.StreamReader``/``StreamWriter``, pipelining-free, one in-flight
+request per connection, reconnecting once on a dropped socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import ReproError
+
+__all__ = ["ClientResponse", "ServiceClient"]
+
+#: Hard ceiling on response bodies (the service's own bodies are small;
+#: a runaway read means a framing bug, not a big payload).
+MAX_RESPONSE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """The server's response could not be framed."""
+
+
+@dataclass(slots=True)
+class ClientResponse:
+    """One parsed response: status line, headers, decoded body."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON (raises on non-JSON)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def retry_after(self) -> float | None:
+        raw = self.headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
+
+class ServiceClient:
+    """One client identity holding one keep-alive connection."""
+
+    def __init__(self, host: str, port: int, *, api_key: str | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self.requests_sent = 0
+        self.reconnects = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    def _render(self, method: str, path: str, payload: Any | None) -> bytes:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: keep-alive",
+            f"Content-Length: {len(body)}",
+        ]
+        if payload is not None:
+            lines.append("Content-Type: application/json")
+        if self.api_key is not None:
+            lines.append(f"Authorization: Bearer {self.api_key}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + body
+
+    async def request(
+        self, method: str, path: str, *, payload: Any | None = None
+    ) -> ClientResponse:
+        """Issue one request; transparently reconnects once on a dead socket."""
+        raw = self._render(method, path, payload)
+        try:
+            return await self._roundtrip(raw)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            # The server may close an idle keep-alive connection between
+            # our requests; one reconnect covers that race.
+            self.reconnects += 1
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(raw)
+
+    async def _roundtrip(self, raw: bytes) -> ClientResponse:
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        reader, writer = self._reader, self._writer
+        if reader is None or writer is None:  # pragma: no cover - connect() raises first
+            raise ProtocolError("connection not established")
+        writer.write(raw)
+        await writer.drain()
+        self.requests_sent += 1
+        return await self._read_response(reader)
+
+    async def _read_response(self, reader: asyncio.StreamReader) -> ClientResponse:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("iso-8859-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ProtocolError(f"malformed status line: {lines[0]!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        if length < 0 or length > MAX_RESPONSE_BYTES:
+            raise ProtocolError(f"unreasonable content-length {length}")
+        body = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ClientResponse(status=status, headers=headers, body=body)

@@ -163,6 +163,22 @@ class SloWatchdog:
         """True while no rule has ever breached."""
         return not self.breaches
 
+    @property
+    def active(self) -> tuple[str, ...]:
+        """Names of rules violated at the last evaluation (sorted).
+
+        Breaches are edge-triggered, so :attr:`breaches` only ever grows;
+        a *liveness* probe (the service plane's ``/healthz``) instead
+        needs "is anything wrong right now" — a rule leaves this set as
+        soon as an evaluation sees it back inside its bound.
+        """
+        return tuple(sorted(self._active))
+
+    @property
+    def healthy(self) -> bool:
+        """True when no rule is violated *currently* (see :attr:`active`)."""
+        return not self._active
+
     def admission(self, t: float, *, accepted: bool, latency: float) -> None:
         """Ingest one admission decision (latency in simulated time)."""
         self._admissions.append((t, accepted, latency))

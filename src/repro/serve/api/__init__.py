@@ -1,0 +1,1 @@
+"""Versioned HTTP API packages (``repro.serve.api.v1``)."""

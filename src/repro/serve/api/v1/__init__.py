@@ -1,0 +1,1 @@
+"""API v1: admission, lifecycle, headroom, health and metrics endpoints."""

@@ -1,0 +1,2 @@
+"""One module per resource; every ``handle_*`` coroutine here must be
+registered in :data:`repro.serve.routes.ROUTE_TABLE` (gridlint GL015)."""

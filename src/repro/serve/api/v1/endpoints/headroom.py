@@ -1,0 +1,39 @@
+"""``GET /v1/headroom`` — per-port capacity, committed peak, and headroom.
+
+Reads the gateway's cached peak index (the same O(1) surface the
+admission fast path uses), so the endpoint stays cheap enough to poll:
+no port-timeline rescans, no admission-path interference.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ....deps import RequestContext
+from ....http import HttpRequest, HttpResponse
+
+__all__ = ["handle_headroom"]
+
+
+async def handle_headroom(ctx: RequestContext, request: HttpRequest) -> HttpResponse:
+    gateway = ctx.app.gateway
+    platform = gateway.platform
+    payload: dict[str, Any] = {"now": ctx.app.clock.now(), "ports": {}}
+    for side, count, cap_of in (
+        ("ingress", platform.num_ingress, platform.bin),
+        ("egress", platform.num_egress, platform.bout),
+    ):
+        rows = []
+        for port in range(count):
+            capacity = cap_of(port)
+            peak = gateway.coordinator.broker_for(side, port).cached_peak(side, port)
+            rows.append(
+                {
+                    "port": port,
+                    "capacity": capacity,
+                    "peak": peak,
+                    "headroom": capacity - peak,
+                }
+            )
+        payload["ports"][side] = rows
+    return HttpResponse(status=200, payload=payload)

@@ -1,0 +1,42 @@
+"""``GET /healthz`` — liveness with live SLO verdicts.
+
+The verdicts come straight from the gateway's
+:class:`~repro.obs.slo.SloWatchdog` (the same watchdog the chaos matrix
+audits): 200 while every rule is currently satisfied, 503 while any rule
+is actively breached — edge-triggered history rides along so an operator
+sees *what* broke and when, not just that something did.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ....deps import RequestContext
+from ....http import HttpRequest, HttpResponse
+
+__all__ = ["handle_healthz"]
+
+
+async def handle_healthz(ctx: RequestContext, request: HttpRequest) -> HttpResponse:
+    app = ctx.app
+    payload: dict[str, Any] = {
+        "status": "draining" if app.draining else "serving",
+        "now": app.clock.now(),
+        "pending": len(app.frontier),
+        "stats": {
+            "submits": app.gateway.stats.submits,
+            "accepted": app.gateway.stats.accepted,
+            "rejected": app.gateway.stats.rejected,
+            "edge_refused": app.gateway.stats.edge_refused,
+        },
+    }
+    healthy = not app.draining
+    watchdog = app.gateway.slo
+    if watchdog is not None:
+        payload["slo"] = {
+            "ok": watchdog.ok,
+            "active": list(watchdog.active),
+            "breaches": [breach.to_dict() for breach in watchdog.breaches],
+        }
+        healthy = healthy and watchdog.healthy
+    return HttpResponse(status=200 if healthy else 503, payload=payload)

@@ -1,0 +1,21 @@
+"""``GET /metrics`` — Prometheus text exposition of the live registry.
+
+Nothing new is computed here: the gateway, frontier and HTTP edge
+already publish into the app's :class:`~repro.obs.metrics.MetricsRegistry`;
+this endpoint renders it with the registry's own deterministic text
+exposition (sorted families, sorted label sets).
+"""
+
+from __future__ import annotations
+
+from ....deps import RequestContext
+from ....http import HttpRequest, HttpResponse
+
+__all__ = ["handle_metrics"]
+
+
+async def handle_metrics(ctx: RequestContext, request: HttpRequest) -> HttpResponse:
+    text = ctx.app.telemetry.metrics.to_prometheus_text()
+    return HttpResponse(
+        status=200, text=text, content_type="text/plain; version=0.0.4; charset=utf-8"
+    )

@@ -1,0 +1,109 @@
+"""The wall-clock ↔ simulated-time seam — the service plane's GL001 exemption.
+
+The gateway's clock is simulated, forward-only, and journaled; the
+service is a real process whose requests arrive on wall-clock time.
+This module is the **only** place in ``repro.serve`` allowed to read the
+host clock (gridlint GL001 allowlists exactly ``serve/clock.py``; see
+docs/ANALYSIS.md): a :class:`WallServiceClock` maps monotonic host
+seconds onto the gateway's time axis, while the deterministic
+:class:`LogicalClock` lets tests and the decision-equivalence suites
+drive the *identical* service code with explicit, replayable timestamps.
+
+Both expose the same two readings:
+
+- :meth:`ServiceClock.now` — simulated seconds, fed to every gateway
+  call and therefore journaled; monotone non-decreasing by construction.
+- :meth:`ServiceClock.perf` — wall seconds for latency *measurement*
+  only (histograms, loadgen percentiles); never journaled, never part of
+  any admission decision or replayed state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["LogicalClock", "ServiceClock", "WallServiceClock"]
+
+
+class ServiceClock(Protocol):
+    """The two time axes a service needs (see module docstring)."""
+
+    def now(self) -> float:
+        """Current *simulated* seconds — monotone, journal-safe."""
+        ...  # pragma: no cover - protocol
+
+    def perf(self) -> float:
+        """A monotonic reading for wall-latency measurement only."""
+        ...  # pragma: no cover - protocol
+
+    def observe(self, at: float) -> float:
+        """Fold a client-supplied timestamp into the clock; returns the
+        effective simulated time (≥ every previous reading)."""
+        ...  # pragma: no cover - protocol
+
+
+class WallServiceClock:
+    """Maps the host's monotonic clock onto the gateway's time axis.
+
+    ``origin`` anchors the simulated axis (a restarted service resumes at
+    the replayed gateway's clock, not at zero); ``timescale`` converts
+    wall seconds to simulated seconds (1.0 = real time).  Client ``at``
+    hints are ignored in wall mode — the host clock is authoritative.
+    """
+
+    __slots__ = ("_origin", "_timescale", "_start")
+
+    def __init__(self, *, origin: float = 0.0, timescale: float = 1.0) -> None:
+        if timescale <= 0:
+            raise ConfigurationError(f"timescale must be positive, got {timescale}")
+        self._origin = origin
+        self._timescale = timescale
+        self._start = time.monotonic()
+
+    def now(self) -> float:
+        return self._origin + (time.monotonic() - self._start) * self._timescale
+
+    def perf(self) -> float:
+        return time.monotonic()
+
+    def observe(self, at: float) -> float:
+        return self.now()
+
+
+class LogicalClock:
+    """A deterministic clock driven by the requests themselves.
+
+    Tests and the served-vs-in-process equivalence suite submit with
+    explicit ``at`` timestamps; the clock is the running maximum, so the
+    gateway's forward-only contract holds whatever order clients land
+    in.  :meth:`perf` advances a fixed ``step`` per read — deterministic
+    latency measurements for tests that assert on histogram contents.
+    """
+
+    __slots__ = ("_now", "_perf", "_step")
+
+    def __init__(self, *, start: float = 0.0, step: float = 0.001) -> None:
+        if step < 0:
+            raise ConfigurationError(f"step must be >= 0, got {step}")
+        self._now = start
+        self._perf = 0.0
+        self._step = step
+
+    def now(self) -> float:
+        return self._now
+
+    def perf(self) -> float:
+        self._perf += self._step
+        return self._perf
+
+    def observe(self, at: float) -> float:
+        if at > self._now:
+            self._now = at
+        return self._now
+
+    def advance(self, to: float) -> float:
+        """Explicitly move logical time forward (idempotent on the past)."""
+        return self.observe(to)

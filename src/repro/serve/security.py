@@ -1,0 +1,133 @@
+"""API-key authentication and per-client request quotas.
+
+The admission gateway already rate-limits *volume* per client through
+its :class:`~repro.gateway.edge.EdgeLimit` token buckets; the service
+layers two edges in front of that:
+
+1. **Authentication** — a static keyring mapping bearer keys to client
+   identities.  Keys arrive as ``Authorization: Bearer <key>`` or
+   ``X-API-Key``; an unknown or missing key is a 401 before any work.
+2. **Request quota** — a per-client token bucket over *request count*
+   (not volume), so a single client cannot monopolise the event loop no
+   matter how small its submissions are.  Refusals are 429 with a
+   ``Retry-After`` hint from the same earliest-conforming arithmetic the
+   gateway edge uses (exact-refill boundary included).
+
+Both reuse :class:`~repro.control.token_bucket.TokenBucket` — no new
+mechanism, just the existing deterministic primitive fed the service
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..control.token_bucket import TokenBucket
+from ..core.errors import ConfigurationError
+
+__all__ = ["ApiKeyring", "ClientQuota", "QuotaDecision", "QuotaLimiter"]
+
+
+class ApiKeyring:
+    """Static key → client-identity mapping (deterministic, no secrets RNG)."""
+
+    def __init__(self, keys: dict[str, str] | None = None) -> None:
+        self._keys = dict(keys or {})
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def open_access(self) -> bool:
+        """An empty keyring disables authentication (dev / bench mode)."""
+        return not self._keys
+
+    def client_for(self, key: str | None) -> str | None:
+        """The client identity owning ``key``; ``None`` = refuse."""
+        if self.open_access:
+            return "anonymous" if key is None else self._keys.get(key, "anonymous")
+        if key is None:
+            return None
+        return self._keys.get(key)
+
+    @classmethod
+    def generate(cls, clients: int, *, prefix: str = "client") -> ApiKeyring:
+        """A deterministic keyring for tests and the load harness.
+
+        Key material is *not* secret here — the harness needs stable,
+        reproducible credentials, not entropy.  Production deployments
+        load real keys from a file (``grid-serve --keys``).
+        """
+        if clients <= 0:
+            raise ConfigurationError(f"need a positive client count, got {clients}")
+        return cls(
+            {f"key-{prefix}-{i:06d}": f"{prefix}-{i:06d}" for i in range(clients)}
+        )
+
+    def keys(self) -> dict[str, str]:
+        """A copy of the mapping (loadgen hands keys to its clients)."""
+        return dict(self._keys)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientQuota:
+    """Per-client request quota: sustained ``rate`` req/s, ``burst`` requests."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ConfigurationError(
+                f"quota needs positive rate and burst, got ({self.rate}, {self.burst})"
+            )
+
+    def to_dict(self) -> dict[str, float]:
+        return {"rate": self.rate, "burst": self.burst}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> ClientQuota:
+        return cls(rate=float(data["rate"]), burst=float(data["burst"]))
+
+
+@dataclass(frozen=True, slots=True)
+class QuotaDecision:
+    """One quota verdict: admitted, or refused with a retry hint."""
+
+    admitted: bool
+    retry_after: float = 0.0
+
+
+class QuotaLimiter:
+    """Lazily-created per-client request-count buckets (cf. ``EdgeLimiter``)."""
+
+    __slots__ = ("quota", "_buckets", "admitted", "refused")
+
+    def __init__(self, quota: ClientQuota) -> None:
+        self.quota = quota
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.refused = 0
+
+    def check(self, client: str, now: float, *, cost: float = 1.0) -> QuotaDecision:
+        """Charge ``cost`` requests against the client's bucket.
+
+        The retry hint follows the edge-limit boundary convention: at
+        exactly ``now + retry_after`` the same cost conforms.
+        """
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.quota.rate, burst=self.quota.burst)
+            bucket.reset(now)
+            self._buckets[client] = bucket
+        if bucket.offer(now, cost):
+            self.admitted += 1
+            return QuotaDecision(admitted=True)
+        self.refused += 1
+        retry = max(0.0, bucket.earliest_conforming(now, cost) - now)
+        return QuotaDecision(admitted=False, retry_after=retry)
+
+    def clients(self) -> list[str]:
+        """Every client charged so far (deterministic order)."""
+        return sorted(self._buckets)

@@ -1,4 +1,5 @@
-"""Fixture-driven tests for every gridlint rule (GL001–GL010).
+"""Fixture-driven tests for the per-module gridlint rules (GL001–GL010,
+GL015; the flow-sensitive GL011–GL014 live in test_analysis_dataflow.py).
 
 Each rule gets (at least) one fixture proving it fires and one proving
 inline suppression silences it; the end-to-end test plants a violation of
@@ -74,6 +75,17 @@ class TestGL001WallClock:
         report = _scan(tmp_path / "a", source, filename="obs/recorder.py")
         assert _active(report, "GL001") == []
         report = _scan(tmp_path / "b", source, filename="obs/slo.py")
+        assert len(_active(report, "GL001")) == 1
+
+    def test_serve_clock_joins_the_allowlist_scoped(self, tmp_path):
+        # The service's wall-clock seam (WallServiceClock) legitimately
+        # reads the host clock; its serve/ siblings still may not.
+        source = "import time\n\ndef origin():\n    return time.monotonic()\n"
+        report = _scan(tmp_path / "a", source, filename="serve/clock.py")
+        assert _active(report, "GL001") == []
+        report = _scan(tmp_path / "b", source, filename="serve/app.py")
+        assert len(_active(report, "GL001")) == 1
+        report = _scan(tmp_path / "c", source, filename="serve/frontier.py")
         assert len(_active(report, "GL001")) == 1
 
     def test_suppression(self, tmp_path):
@@ -567,6 +579,70 @@ class TestGL010ChannelBoundary:
         assert len(_suppressed(report, "GL010")) == 1
 
 
+class TestGL015RouteRegistry:
+    @staticmethod
+    def _plant(tmp_path, *, routed: bool, suppress: bool = False, routes: bool = True):
+        endpoints = tmp_path / "serve" / "api" / "v1" / "endpoints"
+        endpoints.mkdir(parents=True, exist_ok=True)
+        suffix = (
+            "  # gridlint: disable=GL015 -- internal debug hook" if suppress else ""
+        )
+        (endpoints / "things.py").write_text(
+            f"async def handle_orphan(ctx, request):{suffix}\n"
+            "    return None\n"
+        )
+        if routes:
+            body = (
+                "from .api.v1.endpoints.things import handle_orphan\n"
+                "ROUTE_TABLE = [('GET', '/v1/things', handle_orphan)]\n"
+                if routed
+                else "ROUTE_TABLE = []\n"
+            )
+            (tmp_path / "serve" / "routes.py").write_text(body)
+
+    def test_fires_on_unrouted_handler(self, tmp_path):
+        self._plant(tmp_path, routed=False)
+        report = run_analysis([tmp_path], all_rules())
+        findings = _active(report, "GL015")
+        assert len(findings) == 1
+        assert "handle_orphan" in findings[0].message
+
+    def test_routed_handler_passes(self, tmp_path):
+        self._plant(tmp_path, routed=True)
+        report = run_analysis([tmp_path], all_rules())
+        assert _active(report, "GL015") == []
+
+    def test_missing_route_table_flags_every_handler(self, tmp_path):
+        self._plant(tmp_path, routed=False, routes=False)
+        report = run_analysis([tmp_path], all_rules())
+        findings = _active(report, "GL015")
+        assert len(findings) == 1
+        assert "routes.py is missing" in findings[0].message
+
+    def test_helpers_outside_api_tree_ignored(self, tmp_path):
+        (tmp_path / "serve").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "serve" / "helpers.py").write_text(
+            "async def handle_internal(x):\n    return x\n"
+        )
+        report = run_analysis([tmp_path], all_rules())
+        assert _active(report, "GL015") == []
+
+    def test_suppression_on_def_line(self, tmp_path):
+        self._plant(tmp_path, routed=False, suppress=True)
+        report = run_analysis([tmp_path], all_rules())
+        assert _active(report, "GL015") == []
+        assert len(_suppressed(report, "GL015")) == 1
+
+    def test_real_route_table_is_complete(self):
+        """Every handle_* coroutine in the shipped serve/api tree is routed."""
+        from pathlib import Path
+
+        src = Path(__file__).parent.parent / "src"
+        rule = rules_by_id()["GL015"]
+        report = run_analysis([src], [rule])
+        assert report.findings == []
+
+
 class TestEndToEnd:
     def test_temp_package_with_every_violation_gates(self, tmp_path, capsys):
         """CLI over a package violating every rule: exit 1, all ids reported."""
@@ -577,6 +653,12 @@ class TestEndToEnd:
         (pkg / "schedulers" / "orphan.py").write_text(
             "from .base import Scheduler\n\n\nclass OrphanScheduler(Scheduler):\n    pass\n"
         )
+        endpoints = pkg / "serve" / "api" / "v1" / "endpoints"
+        endpoints.mkdir(parents=True)
+        (endpoints / "things.py").write_text(
+            "async def handle_unrouted(ctx, request):\n    return None\n"
+        )
+        (pkg / "serve" / "routes.py").write_text("ROUTE_TABLE = []\n")
         (pkg / "soup.py").write_text(
             textwrap.dedent(
                 """\
@@ -614,6 +696,7 @@ class TestEndToEnd:
             "GL008",
             "GL009",
             "GL010",
+            "GL015",
         } <= seen
 
     def test_clean_package_exits_zero(self, tmp_path, capsys):
