@@ -1,0 +1,187 @@
+"""Malleable-profile plane: free when unused, accepts more when used.
+
+Two properties of the stepwise-rate (:class:`~repro.core.profile.RateProfile`)
+refactor are gated, mirroring the promises the profile plane makes:
+
+- **constant-path neutrality** — on a fully feasible constant-rate
+  workload the ``guaranteed-profile`` scheduler must produce a decision
+  trace byte-identical to the constant ``bookahead`` family it extends
+  (shaping never engages when the constant search succeeds) and finish
+  within ``MAX_OVERHEAD`` (5%) of its wall time.  The workload is made
+  fully feasible by a self-filtering pass: requests the baseline rejects
+  are dropped and the survivors re-run — removing never-allocated
+  requests cannot change an earliest-fit trace, so the filtered problem
+  accepts everything and the profile fallback has nothing to do;
+- **shaping uplift** — on congested hotspot and diurnal workloads (the
+  paper's §7 stress scenarios) the shaped fallback must accept strictly
+  more requests than the constant-rate baseline, on every seed.
+
+Results land in ``benchmarks/results/BENCH_profiles.json`` (uploaded as
+a CI artifact) plus a human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.core.platform import Platform
+from repro.core.problem import ProblemInstance
+from repro.core.request import RequestSet
+from repro.schedulers import (
+    EarliestStartFlexible,
+    FractionOfMaxPolicy,
+    GuaranteedProfile,
+    MinRatePolicy,
+)
+from repro.workload import (
+    FlexibleWorkload,
+    HotspotPairs,
+    PoissonArrivals,
+    SinusoidalArrivals,
+)
+
+#: The profile-aware scheduler may cost at most this much wall time over
+#: the constant baseline on a workload where shaping never engages.
+MAX_OVERHEAD = 1.05
+
+CONSTANT_REQUESTS = 600
+UPLIFT_REQUESTS = 400
+REPEATS = 5
+SEEDS = (0, 1, 2)
+
+
+def constant_problem(seed: int = 0) -> ProblemInstance:
+    """A fully feasible constant-rate workload (see module docstring)."""
+    platform = Platform.paper_platform()
+    workload = FlexibleWorkload(platform, arrivals=PoissonArrivals(40.0))
+    prob = workload.generate(CONSTANT_REQUESTS, np.random.default_rng(seed))
+    baseline = EarliestStartFlexible(policy=MinRatePolicy()).schedule(prob)
+    survivors = [r for r in prob.requests if r.rid not in baseline.rejected]
+    return ProblemInstance(platform=platform, requests=RequestSet(survivors))
+
+
+def hotspot_problem(seed: int, skew: float = 8.0) -> ProblemInstance:
+    platform = Platform.paper_platform()
+    weights = [skew] + [1.0] * (platform.num_egress - 1)
+    workload = FlexibleWorkload(
+        platform,
+        arrivals=PoissonArrivals(2.0),
+        pairs=HotspotPairs(egress_weights=weights),
+    )
+    return workload.generate(UPLIFT_REQUESTS, np.random.default_rng(seed))
+
+
+def diurnal_problem(seed: int, amplitude: float = 0.9) -> ProblemInstance:
+    platform = Platform.paper_platform()
+    workload = FlexibleWorkload(
+        platform,
+        arrivals=SinusoidalArrivals(mean=2.0, amplitude=amplitude, period=7200.0),
+    )
+    return workload.generate(UPLIFT_REQUESTS, np.random.default_rng(seed))
+
+
+def trace(result) -> str:
+    """Canonical JSON decision trace: per-rid grant or reject."""
+    grants = sorted(
+        (rid, alloc.sigma, alloc.tau, alloc.bw) for rid, alloc in result.accepted.items()
+    )
+    return json.dumps({"grants": grants, "rejected": sorted(result.rejected)})
+
+
+def timed_schedule(scheduler, prob) -> tuple[str, float]:
+    """Best-of-``REPEATS`` wall time plus the (repeat-invariant) trace."""
+    best = math.inf
+    decisions = ""
+    for _ in range(REPEATS):
+        t_begin = time.perf_counter()
+        result = scheduler.schedule(prob)
+        best = min(best, time.perf_counter() - t_begin)
+        decisions = trace(result)
+    return decisions, best
+
+
+def test_profiles_free_when_off_uplift_when_on(results_dir):
+    # -- gate 1: constant-path neutrality ------------------------------
+    prob = constant_problem()
+    baseline = EarliestStartFlexible(policy=MinRatePolicy())
+    shaped = GuaranteedProfile(policy=MinRatePolicy())
+
+    base_trace, base_seconds = timed_schedule(baseline, prob)
+    shaped_trace, shaped_seconds = timed_schedule(shaped, prob)
+
+    assert json.loads(base_trace)["rejected"] == [], (
+        "constant workload is not fully feasible; the neutrality gate "
+        "needs a shaping-free run"
+    )
+    assert base_trace == shaped_trace, (
+        "guaranteed-profile diverged from the constant trace on a "
+        "workload where shaping never engages"
+    )
+    overhead = shaped_seconds / base_seconds
+    # -- gate 2: shaping uplift on congested workloads -----------------
+    scenarios = {
+        "hotspot": (hotspot_problem, FractionOfMaxPolicy(1.0)),
+        "diurnal": (diurnal_problem, MinRatePolicy()),
+    }
+    uplift_rows = []
+    for name, (make_problem, policy) in scenarios.items():
+        for seed in SEEDS:
+            scenario = make_problem(seed)
+            off = EarliestStartFlexible(policy=policy).schedule(scenario)
+            on = GuaranteedProfile(policy=policy).schedule(scenario)
+            uplift_rows.append(
+                {
+                    "scenario": name,
+                    "seed": seed,
+                    "accept_rate_off": off.accept_rate,
+                    "accept_rate_on": on.accept_rate,
+                }
+            )
+            assert on.accept_rate > off.accept_rate, (
+                f"{name} seed {seed}: shaping accepted no extra requests "
+                f"({on.accept_rate:.4f} vs {off.accept_rate:.4f})"
+            )
+
+    # -- artifacts -----------------------------------------------------
+    lines = [
+        f"constant path: baseline {base_seconds:.4f}s, "
+        f"guaranteed-profile {shaped_seconds:.4f}s "
+        f"({overhead:.3f}x, gate <= {MAX_OVERHEAD}x), traces identical",
+        "",
+        f"{'scenario':>8} {'seed':>4} {'off':>8} {'on':>8} {'uplift':>8}",
+    ]
+    for row in uplift_rows:
+        lines.append(
+            f"{row['scenario']:>8} {row['seed']:>4} "
+            f"{row['accept_rate_off']:>8.4f} {row['accept_rate_on']:>8.4f} "
+            f"{row['accept_rate_on'] - row['accept_rate_off']:>8.4f}"
+        )
+    (results_dir / "BENCH_profiles.txt").write_text("\n".join(lines) + "\n")
+    (results_dir / "BENCH_profiles.json").write_text(
+        json.dumps(
+            {
+                "constant": {
+                    "requests": prob.num_requests,
+                    "baseline_seconds": base_seconds,
+                    "shaped_seconds": shaped_seconds,
+                    "overhead": overhead,
+                    "max_overhead": MAX_OVERHEAD,
+                    "traces_identical": True,
+                },
+                "uplift": uplift_rows,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"profile-aware scheduler costs {overhead:.3f}x the constant "
+        f"baseline on a shaping-free workload (gate <= {MAX_OVERHEAD}x); "
+        "see BENCH_profiles.json"
+    )

@@ -41,6 +41,11 @@ _PROTECTED: dict[str, tuple[str, ...]] = {
     "_peak": ("core/capacity/",),
     "_suffix": ("core/capacity/",),
     "_rmq": ("core/capacity/",),
+    # RateProfile's normalized segment tuple (slot of repro.core.profile).
+    # Stepwise profiles are immutable by construction; a write from above
+    # the core skips normalize() and breaks volume conservation — callers
+    # use the surgery verbs (shift/head_until/tail_from/concat) instead.
+    "_segments": ("core/",),
 }
 
 

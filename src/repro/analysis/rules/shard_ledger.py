@@ -44,7 +44,10 @@ _OWNERS: tuple[str, ...] = ("gateway/broker.py", "gateway/twophase.py")
 _MUTATORS = frozenset(
     {
         "allocate",
+        "allocate_segments",
         "release",
+        "release_segments",
+        "restore",
         "degrade",
         "add",
         "add_batch",

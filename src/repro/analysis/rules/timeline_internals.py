@@ -13,10 +13,18 @@ caller to one representation; profiles come from
 :func:`~repro.core.capacity.make_profile` (or ``CapacityProfile()``,
 which dispatches) so backend selection stays a configuration decision.
 
-The rule flags, outside ``repro/core/capacity/``:
+The same single-owner discipline covers the malleable-transfer kernel:
+:class:`~repro.core.profile.RateProfile` keeps its normalized segment
+tuple in ``_segments``, and everything outside :mod:`repro.core` reads it
+through ``.segments`` / ``to_list()`` and derives new shapes through the
+surgery verbs — raw access would skip :meth:`RateProfile.normalize` and
+its volume-conservation guarantees.
+
+The rule flags, outside each attribute's owning package:
 
 - any attribute access (read *or* write) named ``_breakpoints`` or
-  ``_values``;
+  ``_values`` (owner ``repro/core/capacity/``) or ``_segments``
+  (owner ``repro/core/``);
 - any direct call of ``BreakpointProfile`` / ``VectorProfile``.
 
 Ownership is by path fragment, mirroring GL004/GL008, so fixture trees
@@ -36,13 +44,19 @@ from ._common import terminal_name
 
 __all__ = ["TimelineInternalsRule"]
 
-#: The kernel-private array attributes GL009 guards.
-_INTERNAL_ATTRS = ("_breakpoints", "_values")
+#: Kernel-private attribute → path fragment of its owning package.
+_INTERNAL_ATTRS: dict[str, str] = {
+    "_breakpoints": "core/capacity/",
+    "_values": "core/capacity/",
+    # RateProfile's normalized segment tuple: owned by repro.core as a
+    # whole (profile surgery and the booking/ledger kernels live there).
+    "_segments": "core/",
+}
 
 #: Concrete backend classes that must not be constructed directly.
 _BACKEND_CLASSES = ("BreakpointProfile", "VectorProfile")
 
-#: Path fragment owning the internals (the kernel package itself).
+#: Path fragment owning the capacity backends (the kernel package itself).
 _OWNER_FRAGMENT = "core/capacity/"
 
 
@@ -64,19 +78,20 @@ class TimelineInternalsRule(Rule):
     allowlist: ClassVar[tuple[str, ...]] = ("tests/", "benchmarks/")
 
     def check(self, module: Module) -> Iterable[Finding]:
-        if _OWNER_FRAGMENT in module.relpath:
-            return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute) and node.attr in _INTERNAL_ATTRS:
+                fragment = _INTERNAL_ATTRS[node.attr]
+                if fragment in module.relpath:
+                    continue
                 owner = terminal_name(node.value)
                 yield self.finding(
                     module,
                     node,
                     f"access to {owner or '<expr>'}.{node.attr} outside "
-                    f"{_OWNER_FRAGMENT} bypasses the CapacityProfile "
-                    "interface; use add/max_usage/segments/... instead",
+                    f"{fragment} bypasses the owning kernel's interface; "
+                    "use add/max_usage/segments/... instead",
                 )
-            elif isinstance(node, ast.Call):
+            elif isinstance(node, ast.Call) and _OWNER_FRAGMENT not in module.relpath:
                 name = _call_name(node.func)
                 if name in _BACKEND_CLASSES:
                     yield self.finding(

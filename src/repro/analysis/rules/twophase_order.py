@@ -14,6 +14,12 @@ matching:
   prepare records; reusing one across attempts makes the broker answer
   the retry from the *previous* attempt's recorded outcome, poisoning
   replay (every attempt must burn a fresh rid from the gateway counter).
+  The malleable reshape path is the one sanctioned exception: its target
+  request re-carves a *live* reservation in place — the rid never
+  becomes a broker idempotency key (shaping is a read-only search and
+  the re-commit is unkeyed), so ``_IN_PLACE_RESHAPERS`` names the
+  functions where keeping the rid is the correct identity-preserving
+  behaviour.
 
 The first two come from the shared typestate fixpoint
 (:mod:`repro.analysis.rules._protocol`); rid reuse is a reaching-
@@ -37,6 +43,11 @@ __all__ = ["TwoPhaseOrderRule"]
 
 #: Callables that build a (re-)admission attempt and accept ``rid=``.
 _ATTEMPT_BUILDERS = frozenset({"Request", "replace"})
+
+#: Functions that re-carve a live reservation in place (same identity,
+#: new shape) — their target Request deliberately keeps the rid and never
+#: crosses a keyed broker channel, so rid-reuse does not apply.
+_IN_PLACE_RESHAPERS = frozenset({"_reshape_tail"})
 
 
 def _rid_attribute(expr: ast.expr) -> str | None:
@@ -86,6 +97,8 @@ class TwoPhaseOrderRule(Rule):
         if not any(builder in module.source for builder in _ATTEMPT_BUILDERS):
             return
         for cfg in function_cfgs(module.tree):
+            if cfg.name in _IN_PLACE_RESHAPERS:
+                continue
             reaching = None  # solved lazily: most functions have no builder
             for node in cfg.stmt_nodes():
                 if node.stmt is None:

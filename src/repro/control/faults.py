@@ -342,6 +342,7 @@ def run_gateway_fault_drill(
     chaos: ChaosPolicy | None = None,
     rpc_deadline: float | None = None,
     backlog_limit: int = 0,
+    malleable: bool = False,
     restart_sweep: float | None = None,
     journal: Journal | None = None,
     telemetry: Telemetry | None = None,
@@ -365,7 +366,9 @@ def run_gateway_fault_drill(
 
     ``chaos`` / ``rpc_deadline`` / ``backlog_limit`` wire the message-level
     fault plane straight through to the gateway (see
-    :mod:`repro.gateway.rpc`).  ``restart_sweep`` schedules a periodic
+    :mod:`repro.gateway.rpc`), and ``malleable`` turns on its
+    stepwise-profile plane (shaped fallback admission, reshape before
+    displacement on degrade).  ``restart_sweep`` schedules a periodic
     janitor that restarts every crashed broker (journaled ``gw_restart``
     ops) — the recovery half of the crash-mid-2PC scenario, where crashes
     are sampled *inside* the protocol by the chaos policy rather than
@@ -404,6 +407,7 @@ def run_gateway_fault_drill(
         chaos=chaos,
         rpc_deadline=rpc_deadline,
         backlog_limit=backlog_limit,
+        malleable=malleable,
         journal=journal,
         telemetry=telemetry,
         recorder=recorder,
@@ -612,6 +616,8 @@ def run_chaos_matrix(
     hold_ttl: float = 120.0,
     backlog_limit: int = 8,
     rpc_deadline: float | None = 60.0,
+    malleable: bool = False,
+    make_faults: Any = None,
     horizon: float = 600.0,
     tracing: bool = False,
     slo_rules: Sequence[SloRule] | None = None,
@@ -620,7 +626,12 @@ def run_chaos_matrix(
     """Sweep seeds x scenarios; quiesce and invariant-audit every cell.
 
     ``make_requests`` is a callable ``(seed) -> Iterable[Request]`` so
-    every seed row gets its own workload.  Each cell runs a full
+    every seed row gets its own workload.  ``make_faults`` (optional,
+    same shape: ``(seed) -> Sequence[PortFault]``) adds planned port
+    degradations to every cell, and ``malleable=True`` turns on the
+    gateway's stepwise-profile plane — shaped fallback admission and
+    reshape-before-displace recovery — so the matrix audits the reshape
+    verb under every chaos scenario.  Each cell runs a full
     :func:`run_gateway_fault_drill` with the scenario's chaos policy and
     a journal attached, then drains repeatedly until the gateway has
     quiesced — no live hold on any broker and the clock past every
@@ -663,6 +674,7 @@ def run_chaos_matrix(
         )
     for seed in seeds:
         requests = list(make_requests(seed))
+        faults = tuple(make_faults(seed)) if make_faults is not None else ()
         last_deadline = max((r.t_end for r in requests), default=0.0)
         for scenario in scenarios:
             chaos, crashes, restart_sweep = chaos_scenario(
@@ -680,11 +692,13 @@ def run_chaos_matrix(
                 ordering=ordering,
                 policy=policy,
                 abort_rate=abort_rate,
+                faults=faults,
                 crashes=crashes,
                 hold_ttl=hold_ttl,
                 chaos=chaos,
                 rpc_deadline=rpc_deadline,
                 backlog_limit=backlog_limit,
+                malleable=malleable,
                 restart_sweep=restart_sweep,
                 journal=journal,
                 telemetry=telemetry,
@@ -728,6 +742,8 @@ def run_chaos_matrix(
                     "backlogged": stats.backlogged,
                     "readmitted": stats.readmitted,
                     "compensations": stats.compensations,
+                    "displaced": stats.displaced,
+                    "reshaped": stats.reshaped,
                     "stranded_holds": stats.stranded_holds,
                     "chaos_drops": stats.chaos_drops,
                     "chaos_duplicates": stats.chaos_duplicates,

@@ -39,11 +39,13 @@ _KNOWN_OPS = frozenset(
         "cancel",
         "abort",
         "degrade",
+        "reshape",
         "gw_submit",
         "gw_drain",
         "gw_cancel",
         "gw_abort",
         "gw_degrade",
+        "gw_reshape",
         "gw_crash",
         "gw_restart",
     }

@@ -37,11 +37,19 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..core.allocation import Allocation, ScheduleResult
-from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
+from ..core.booking import (
+    FitProbe,
+    RejectReason,
+    deadline_tolerance,
+    earliest_fit,
+    earliest_fit_profile,
+    shape_profile,
+)
 from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
 from ..core.capacity import CAPACITY_SLACK
 from ..core.ledger import Degradation, PortLedger
 from ..core.platform import Platform
+from ..core.profile import RateProfile
 from ..core.request import Request, RequestSet
 from ..metrics.faults import FaultStats
 from ..obs.telemetry import Telemetry, get_telemetry
@@ -101,7 +109,7 @@ class Reservation:
             return 0.0
         stop = self.terminated_at
         end = self.allocation.tau if stop is None else min(stop, self.allocation.tau)
-        return self.allocation.bw * max(0.0, end - self.allocation.sigma)
+        return self.allocation.carried_before(end)
 
     @property
     def residual(self) -> float:
@@ -168,6 +176,7 @@ class ReservationService:
         policy: BandwidthPolicy | None = None,
         *,
         backlog_limit: int = 0,
+        malleable: bool = False,
         journal: Journal | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
@@ -176,6 +185,11 @@ class ReservationService:
         self.platform = platform
         self.policy = policy or MinRatePolicy()
         self.backlog_limit = backlog_limit
+        #: Malleable-transfer mode: shape stepwise profiles into residual
+        #: capacity when the constant-rate search fails, and reshape live
+        #: reservations before displacing them on degradations.  Off by
+        #: default — the constant-rate decision trace stays byte-identical.
+        self.malleable = malleable
         self._telemetry = telemetry
         self._ledger = PortLedger(platform)
         self._clock = float("-inf")
@@ -188,13 +202,16 @@ class ReservationService:
         self.stats = FaultStats()
         self.journal = journal
         if journal is not None:
-            journal.set_header(
-                {
-                    "platform": platform.to_dict(),
-                    "policy": self.policy.name,
-                    "backlog_limit": backlog_limit,
-                }
-            )
+            header: dict[str, Any] = {
+                "platform": platform.to_dict(),
+                "policy": self.policy.name,
+                "backlog_limit": backlog_limit,
+            }
+            if malleable:
+                # Only written when on, so constant-rate journals stay
+                # byte-identical to the pre-profile format.
+                header["malleable"] = True
+            journal.set_header(header)
 
     # ------------------------------------------------------------------
     def _advance(self, now: float) -> float:
@@ -233,6 +250,7 @@ class ReservationService:
         now: float,
         max_rate: float | None = None,
         origin: int | None = None,
+        profile: RateProfile | list[Any] | None = None,
     ) -> Reservation:
         """Submit a transfer; returns a confirmed or rejected reservation.
 
@@ -244,12 +262,25 @@ class ReservationService:
         reservation's residual volume (after an abort or displacement); it
         links the new reservation to the old one for accounting and lets
         :meth:`accept_rate` treat the pair as one client request.
+
+        ``profile`` requests a stepwise (malleable) rate shape instead of
+        the paper's constant rate: absolute-time ``(t0, t1, rate)``
+        segments that must deliver exactly ``volume`` MB.  The shape is
+        granted as-given or slid later within the window
+        (:func:`~repro.core.booking.earliest_fit_profile`); a shape that
+        fits nowhere rejects with
+        :attr:`~repro.core.booking.RejectReason.PROFILE_INFEASIBLE`.
         """
         self._advance(now)
         if max_rate is None:
             max_rate = self.platform.bottleneck(ingress, egress)
         if origin is not None and origin not in self._reservations:
             raise KeyError(f"unknown origin reservation {origin}")
+        wanted = RateProfile.maybe_from(profile)
+        if wanted is not None and not wanted.conserves(volume):
+            raise InvalidRequestError(
+                f"profile delivers {wanted.volume} MB but the submission asks for {volume} MB"
+            )
         rid = self._take_rid()
         # Structural validation (positive volume, non-empty window, reachable
         # deadline) happens in the Request constructor and propagates as
@@ -263,7 +294,12 @@ class ReservationService:
             t_end=deadline,
             max_rate=max_rate,
         )
-        allocation, probe = self._book(request)
+        if wanted is not None:
+            allocation, probe = self._book_profile(request, wanted)
+        else:
+            allocation, probe = self._book(request)
+            if allocation is None and self.malleable:
+                allocation, probe = self._book_shaped(request, probe)
         reservation = Reservation(
             rid=rid,
             request=request,
@@ -272,16 +308,17 @@ class ReservationService:
             reject_reason=probe.reason,
         )
         self._reservations[rid] = reservation
-        self._record(
-            "submit",
-            now,
-            ingress=ingress,
-            egress=egress,
-            volume=volume,
-            deadline=deadline,
-            max_rate=max_rate,
-            origin=origin,
-        )
+        args: dict[str, Any] = {
+            "ingress": ingress,
+            "egress": egress,
+            "volume": volume,
+            "deadline": deadline,
+            "max_rate": max_rate,
+            "origin": origin,
+        }
+        if wanted is not None:
+            args["profile"] = wanted.to_list()
+        self._record("submit", now, **args)
         self._observe_submit(reservation, probe, now)
         if origin is not None:
             parent = self._reservations[origin]
@@ -312,6 +349,42 @@ class ReservationService:
                 allocation.bw,
             )
             self._note_port_peaks(allocation)
+        return allocation, probe
+
+    def _book_profile(
+        self, request: Request, profile: RateProfile
+    ) -> tuple[Allocation | None, FitProbe]:
+        """Place (possibly sliding) an explicitly requested stepwise profile."""
+        probe = FitProbe()
+        allocation = earliest_fit_profile(
+            self._ledger, request, profile, not_before=request.t_start, probe=probe
+        )
+        if allocation is not None:
+            self._ledger.allocate_segments(
+                allocation.ingress, allocation.egress, allocation.segments()
+            )
+            self._note_port_peaks(allocation)
+        return allocation, probe
+
+    def _book_shaped(
+        self, request: Request, constant_probe: FitProbe
+    ) -> tuple[Allocation | None, FitProbe]:
+        """Malleable fallback: shape a profile into residual capacity valleys.
+
+        Tried only after the constant-rate search failed (and only with
+        ``malleable=True``); on shaping failure the constant search's
+        diagnostics are kept so reject reasons stay the more informative
+        of the two.
+        """
+        probe = FitProbe()
+        shaped = shape_profile(self._ledger, request, probe=probe)
+        if shaped is None:
+            return None, constant_probe
+        allocation = Allocation.for_profile(request, shaped)
+        self._ledger.allocate_segments(
+            allocation.ingress, allocation.egress, allocation.segments(), check=False
+        )
+        self._note_port_peaks(allocation)
         return allocation, probe
 
     def _note_port_peaks(self, alloc: Allocation) -> None:
@@ -487,8 +560,14 @@ class ReservationService:
         release_from = max(now, alloc.sigma)
         if release_from >= alloc.tau:
             return 0.0
-        self._ledger.release(alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw)
-        return alloc.bw * (alloc.tau - release_from)
+        if alloc.profile is None:
+            self._ledger.release(alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw)
+            return alloc.bw * (alloc.tau - release_from)
+        tail = alloc.profile.tail_from(release_from)
+        if not tail:
+            return 0.0
+        self._ledger.release_segments(alloc.ingress, alloc.egress, tail.segments)
+        return tail.volume
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -527,6 +606,85 @@ class ReservationService:
         self._readmit(now)
         return True
 
+    def reshape(self, rid: int, *, now: float) -> bool:
+        """Re-shape a live reservation's unconsumed tail (malleable verb).
+
+        The tail ``[max(now, σ), τ)`` returns to the ledger and the still
+        undelivered volume is re-carved as a stepwise profile into the
+        current residual capacity valleys of the same window
+        (:func:`~repro.core.booking.shape_profile`) — stretching into
+        quieter intervals or dropping to whatever bandwidth each interval
+        still has.  The consumed head is preserved exactly, so ``carried``
+        accounting is unchanged.  On failure the original tail is restored
+        and the ledger left exactly as found.
+
+        Journaled as its own ``reshape`` op; :meth:`replay` re-applies it
+        deterministically.  Returns True when the reservation was
+        re-shaped.
+        """
+        self._advance(now)
+        reservation = self._reservations.get(rid)
+        if reservation is None:
+            raise KeyError(f"unknown reservation {rid}")
+        if reservation.state(now) in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+            ok = self._reshape_tail(reservation, now)
+        else:
+            ok = False
+        self._record("reshape", now, rid=rid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "service_reshapes_total", "Malleable tail re-shapes by effect."
+            ).inc(reshaped=str(ok).lower())
+            tel.emit("service.reshape", now, rid=rid, reshaped=ok)
+        return ok
+
+    def _reshape_tail(self, reservation: Reservation, now: float) -> bool:
+        """Release + re-carve one live tail; restores the ledger on failure."""
+        alloc = _live_allocation(reservation)
+        release_from = max(now, alloc.sigma)
+        if release_from >= alloc.tau:
+            return False
+        if alloc.profile is not None:
+            old_tail = alloc.profile.tail_from(release_from).segments
+        else:
+            old_tail = ((release_from, alloc.tau, alloc.bw),)
+        residual = max(0.0, reservation.request.volume - alloc.carried_before(release_from))
+        if residual <= 0.0 or not old_tail:
+            return False
+        try:
+            target = Request(
+                rid=reservation.rid,
+                ingress=alloc.ingress,
+                egress=alloc.egress,
+                volume=residual,
+                t_start=release_from,
+                t_end=reservation.request.t_end,
+                max_rate=reservation.request.max_rate,
+            )
+        except InvalidRequestError:
+            return False  # residual window no longer structurally valid
+        self._ledger.release_segments(alloc.ingress, alloc.egress, old_tail)
+        shaped = shape_profile(self._ledger, target, not_before=release_from)
+        if shaped is None:
+            # Put the tail back exactly; check=False because it may sit in
+            # an already-overcommitted (degraded) region — that was the
+            # pre-existing state, not ours to reject.
+            self._ledger.allocate_segments(alloc.ingress, alloc.egress, old_tail, check=False)
+            return False
+        if alloc.profile is not None:
+            head = alloc.profile.head_until(release_from)
+        elif release_from > alloc.sigma:
+            head = RateProfile.constant(alloc.sigma, release_from, alloc.bw)
+        else:
+            head = RateProfile(())
+        self._ledger.allocate_segments(
+            alloc.ingress, alloc.egress, shaped.segments, check=False
+        )
+        reservation.allocation = alloc.with_profile(head.concat(shaped))
+        self.stats.reshaped += 1
+        return True
+
     def degrade(
         self,
         *,
@@ -557,12 +715,24 @@ class ReservationService:
         self._degradations.append(degradation)
         self.stats.degradations += 1
         displaced: list[Reservation] = []
+        reshaped_rids: list[int] = []
         cap = self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
         tol = CAPACITY_SLACK * max(1.0, cap)
         while self._ledger.overcommit_on(side, port, start, end) > tol:
             victim = self._displacement_victim(side, port, start, end, now)
             if victim is None:
                 break  # remaining overcommit is not ours to resolve
+            if (
+                self.malleable
+                and victim.rid not in reshaped_rids
+                and self._reshape_tail(victim, now)
+            ):
+                # Malleable recovery: the victim's tail was re-carved around
+                # the degraded window — no displacement needed.  Each rid is
+                # tried once per degradation; a reshaped reservation that
+                # still blocks the port is displaced on the next pass.
+                reshaped_rids.append(victim.rid)
+                continue
             alloc = _live_allocation(victim)
             freed = self._release_tail(alloc, now)
             victim.displaced_at = now
@@ -581,16 +751,17 @@ class ReservationService:
                 tel.metrics.counter(
                     "service_displacements_total", "Reservations displaced by degradations."
                 ).inc(float(len(displaced)))
-            tel.emit(
-                "service.degrade",
-                now,
-                side=side,
-                port=port,
-                amount=amount,
-                start=start,
-                end=end,
-                displaced=[r.rid for r in displaced],
-            )
+            fields: dict[str, Any] = {
+                "side": side,
+                "port": port,
+                "amount": amount,
+                "start": start,
+                "end": end,
+                "displaced": [r.rid for r in displaced],
+            }
+            if reshaped_rids:
+                fields["reshaped"] = reshaped_rids
+            tel.emit("service.degrade", now, **fields)
         self._readmit(now)
         return displaced
 
@@ -645,6 +816,8 @@ class ReservationService:
             except InvalidRequestError:
                 continue  # clipped window borderline-infeasible: prune
             allocation, _probe = self._book(candidate)
+            if allocation is None and self.malleable:
+                allocation, _probe = self._book_shaped(candidate, _probe)
             if allocation is None:
                 keep.append(rid)
                 continue
@@ -737,6 +910,7 @@ class ReservationService:
             platform,
             policy=policy,
             backlog_limit=int(header.get("backlog_limit", 0)),
+            malleable=bool(header.get("malleable", False)),
             journal=None,
         )
         for entry in journal:
@@ -750,6 +924,7 @@ class ReservationService:
                     now=entry.now,
                     max_rate=args.get("max_rate"),
                     origin=args.get("origin"),
+                    profile=args.get("profile"),
                 )
             elif entry.op == "submit_striped":
                 max_stream = args.get("max_stream_rate")
@@ -765,6 +940,8 @@ class ReservationService:
                 service.cancel(int(args["rid"]), now=entry.now)
             elif entry.op == "abort":
                 service.abort(int(args["rid"]), now=entry.now)
+            elif entry.op == "reshape":
+                service.reshape(int(args["rid"]), now=entry.now)
             elif entry.op == "degrade":
                 service.degrade(
                     side=str(args["side"]),

@@ -6,7 +6,14 @@ requests with transmission windows, ingress/egress capacity constraints
 """
 
 from .allocation import Allocation, ScheduleResult, verify_schedule
-from .booking import FitProbe, RejectReason, book_earliest, earliest_fit
+from .booking import (
+    FitProbe,
+    RejectReason,
+    book_earliest,
+    earliest_fit,
+    earliest_fit_profile,
+    shape_profile,
+)
 from .capacity import (
     CAPACITY_SLACK,
     BreakpointProfile,
@@ -37,6 +44,7 @@ from .objectives import (
 )
 from .platform import Platform
 from .problem import ProblemInstance
+from .profile import RateProfile
 from .request import Request, RequestSet
 from .timeline import BandwidthTimeline
 
@@ -55,6 +63,7 @@ __all__ = [
     "Platform",
     "PortLedger",
     "ProblemInstance",
+    "RateProfile",
     "RejectReason",
     "ReproError",
     "Request",
@@ -66,6 +75,8 @@ __all__ = [
     "book_earliest",
     "demanded_bandwidth",
     "earliest_fit",
+    "earliest_fit_profile",
+    "shape_profile",
     "get_default_backend",
     "make_profile",
     "set_default_backend",

@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping
 from typing import Any
 
+from ..units import seconds_eq
 from .errors import ScheduleViolation
 from .ledger import Degradation, PortLedger
 from .platform import Platform
+from .profile import RateProfile, Segment
 from .request import Request, RequestSet
 
 __all__ = ["Allocation", "ScheduleResult", "verify_schedule", "VERIFY_RTOL"]
@@ -29,8 +31,13 @@ VERIFY_RTOL: float = 1e-6
 class Allocation:
     """Granted bandwidth and window for one accepted request.
 
-    ``tau`` is always ``sigma + volume / bw`` — the transfer runs at constant
-    rate ``bw`` until its volume is delivered (paper §2.1).
+    In the paper's constant-rate model (``profile is None``) ``tau`` is
+    always ``sigma + volume / bw`` — the transfer runs at constant rate
+    ``bw`` until its volume is delivered (paper §2.1).  A *malleable*
+    allocation instead carries a stepwise :class:`RateProfile`; ``bw`` is
+    then the profile's peak rate and ``sigma``/``tau`` its span, so every
+    scalar consumer keeps a conservative view without knowing about
+    profiles.
     """
 
     rid: int
@@ -39,6 +46,7 @@ class Allocation:
     bw: float
     sigma: float
     tau: float
+    profile: RateProfile | None = None
 
     @property
     def duration(self) -> float:
@@ -47,8 +55,27 @@ class Allocation:
 
     @property
     def transferred(self) -> float:
-        """Volume carried, ``bw × (τ - σ)``, in MB."""
+        """Volume carried in MB: ``bw × (τ - σ)``, or the profile integral."""
+        if self.profile is not None:
+            return self.profile.volume
         return self.bw * (self.tau - self.sigma)
+
+    def segments(self) -> tuple[Segment, ...]:
+        """The rate steps this allocation commits on both its ports.
+
+        Constant-rate allocations report their single ``(σ, τ, bw)``
+        segment, so capacity bookkeeping can be written profile-first.
+        """
+        if self.profile is not None:
+            return self.profile.segments
+        return ((self.sigma, self.tau, self.bw),)
+
+    def carried_before(self, t: float) -> float:
+        """Volume already carried strictly before ``t`` (fault-path maths)."""
+        if self.profile is not None:
+            return self.profile.volume_before(t)
+        end = min(t, self.tau)
+        return self.bw * max(0.0, end - self.sigma)
 
     @classmethod
     def for_request(cls, request: Request, bw: float, sigma: float | None = None) -> Allocation:
@@ -67,9 +94,43 @@ class Allocation:
             tau=start + request.volume / bw,
         )
 
+    @classmethod
+    def for_profile(cls, request: Request, profile: RateProfile) -> Allocation:
+        """Malleable allocation serving ``request`` along ``profile``.
+
+        ``bw`` is the peak rate and ``σ``/``τ`` the profile span, keeping
+        the scalar fields an honest conservative summary.
+        """
+        return cls(
+            rid=request.rid,
+            ingress=request.ingress,
+            egress=request.egress,
+            bw=profile.peak_rate,
+            sigma=profile.sigma,
+            tau=profile.tau,
+            profile=profile,
+        )
+
+    def with_profile(self, profile: RateProfile) -> Allocation:
+        """The same request reshaped along ``profile`` (fault-path verb)."""
+        return Allocation(
+            rid=self.rid,
+            ingress=self.ingress,
+            egress=self.egress,
+            bw=profile.peak_rate,
+            sigma=profile.sigma,
+            tau=profile.tau,
+            profile=profile,
+        )
+
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict representation (JSON friendly)."""
-        return {
+        """Plain-dict representation (JSON friendly).
+
+        The ``profile`` key appears only for malleable allocations —
+        constant-rate journals and snapshots stay byte-identical to the
+        pre-profile format.
+        """
+        data: dict[str, Any] = {
             "rid": self.rid,
             "ingress": self.ingress,
             "egress": self.egress,
@@ -77,6 +138,9 @@ class Allocation:
             "sigma": self.sigma,
             "tau": self.tau,
         }
+        if self.profile is not None:
+            data["profile"] = self.profile.to_list()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> Allocation:
@@ -88,6 +152,7 @@ class Allocation:
             bw=float(data["bw"]),
             sigma=float(data["sigma"]),
             tau=float(data["tau"]),
+            profile=RateProfile.maybe_from(data.get("profile")),
         )
 
 
@@ -177,7 +242,14 @@ class ScheduleResult:
         """Replay the accepted allocations into a fresh (unchecked) ledger."""
         ledger = PortLedger(platform)
         for alloc in self.accepted.values():
-            ledger.allocate(alloc.ingress, alloc.egress, alloc.sigma, alloc.tau, alloc.bw, check=False)
+            if alloc.profile is None:
+                ledger.allocate(
+                    alloc.ingress, alloc.egress, alloc.sigma, alloc.tau, alloc.bw, check=False
+                )
+            else:
+                ledger.allocate_segments(
+                    alloc.ingress, alloc.egress, alloc.profile.segments, check=False
+                )
         return ledger
 
     # ------------------------------------------------------------------
@@ -266,6 +338,17 @@ def verify_schedule(
             raise ScheduleViolation(
                 f"request {rid}: bw {alloc.bw} exceeds MaxRate {request.max_rate}"
             )
+        if alloc.profile is not None:
+            if not alloc.profile:
+                raise ScheduleViolation(f"request {rid}: empty rate profile")
+            if not (
+                seconds_eq(alloc.sigma, alloc.profile.sigma, rel=rtol)
+                and seconds_eq(alloc.tau, alloc.profile.tau, rel=rtol)
+            ):
+                raise ScheduleViolation(
+                    f"request {rid}: scalar window [{alloc.sigma}, {alloc.tau}] disagrees "
+                    f"with profile span [{alloc.profile.sigma}, {alloc.profile.tau}]"
+                )
         if enforce_window:
             if alloc.sigma < request.t_start - rtol * max(1.0, abs(request.t_start)):
                 raise ScheduleViolation(

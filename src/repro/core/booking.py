@@ -25,6 +25,7 @@ from ..obs.telemetry import get_telemetry
 from .allocation import Allocation
 from .capacity import CapacityProfile
 from .ledger import PortLedger
+from .profile import RateProfile
 from .request import Request
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "LedgerView",
     "RejectReason",
     "earliest_fit",
+    "earliest_fit_profile",
+    "shape_profile",
     "book_earliest",
     "deadline_tolerance",
 ]
@@ -79,7 +82,13 @@ class RejectReason(enum.Enum):
       deliveries, a network partition) exhausted the coordinator's retry
       or RPC-deadline budget for a shard (see :mod:`repro.gateway.rpc`);
       unlike a plain reject the gateway backlog may re-admit the request
-      once the shard answers again.
+      once the shard answers again;
+    - ``PROFILE_INFEASIBLE`` — a stepwise rate profile could not be
+      granted: an explicit profile does not fit its window anywhere, or
+      the shaping search could not carve the volume out of the residual
+      capacity valleys.  Deliberately distinct from
+      ``WINDOW_INFEASIBLE`` (which stays the *constant-rate* window
+      verdict) so reject tallies separate the two admission models.
     """
 
     INGRESS_FULL = "ingress-full"
@@ -88,6 +97,7 @@ class RejectReason(enum.Enum):
     MINRATE_EXCEEDS_MAXRATE = "minrate-exceeds-maxrate"
     BROKER_UNAVAILABLE = "broker-unavailable"
     SHARD_UNREACHABLE = "shard-unreachable"
+    PROFILE_INFEASIBLE = "profile-infeasible"
 
 
 @dataclass
@@ -225,6 +235,175 @@ def _count_fit(request: Request, *, candidates: int, accepted: bool) -> None:
         "booking_candidates_examined_total",
         "Candidate start times examined by the earliest-fit search.",
     ).inc(float(candidates))
+
+
+def _pair_edges(ledger: LedgerView, request: Request, lo: float, hi: float) -> list[float]:
+    """Instants in ``(lo, hi)`` where the pair's residual capacity can change."""
+    edges: set[float] = set()
+    points: list[float] = list(ledger.ingress_timeline(request.ingress).breakpoints())
+    points.extend(ledger.egress_timeline(request.egress).breakpoints())
+    points.extend(ledger.degradation_edges("ingress", request.ingress))
+    points.extend(ledger.degradation_edges("egress", request.egress))
+    for t in points:
+        if lo < t < hi:
+            edges.add(float(t))
+    return sorted(edges)
+
+
+def earliest_fit_profile(
+    ledger: LedgerView,
+    request: Request,
+    profile: RateProfile,
+    *,
+    not_before: float | None = None,
+    probe: FitProbe | None = None,
+) -> Allocation | None:
+    """Earliest placement of an *explicit* stepwise profile.
+
+    The caller fixed the profile's shape; the search may only slide it
+    later in time (never earlier than its own start or ``not_before``),
+    trying the as-given position first and then every shift that aligns
+    the profile start with a residual-capacity edge.  Between two
+    consecutive edges the residual capacities are constant, so checking
+    only edge-aligned shifts is exhaustive for the same reason the
+    constant-rate search's candidate set is.
+
+    Rejections classify as :attr:`RejectReason.PROFILE_INFEASIBLE` when
+    the shape cannot meet the window at all, and as port-blame
+    (``INGRESS_FULL`` / ``EGRESS_FULL``) when it fits the window but
+    bounced off capacity everywhere.
+    """
+    earliest = request.t_start if not_before is None else max(request.t_start, not_before)
+    tol = deadline_tolerance(request.t_end)
+    if not profile or not profile.conserves(request.volume):
+        if probe is not None:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+        _count_shape(request, accepted=False)
+        return None
+    if profile.peak_rate > request.max_rate * (1 + 1e-9):
+        if probe is not None:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+        _count_shape(request, accepted=False)
+        return None
+    shift_min = max(0.0, earliest - profile.sigma)
+    shift_max = request.t_end + tol - profile.tau
+    if shift_max < shift_min:
+        if probe is not None:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+        _count_shape(request, accepted=False)
+        return None
+    base = profile.sigma + shift_min
+    shifts = {shift_min}
+    for t in _pair_edges(ledger, request, base, base + (shift_max - shift_min)):
+        shifts.add(shift_min + (t - base))
+    examined = 0
+    first_headroom: tuple[float, float] | None = None
+    for shift in sorted(shifts):
+        examined += 1
+        candidate = profile.shift(shift) if shift > 0.0 else profile
+        if all(
+            ledger.fits(request.ingress, request.egress, t0, t1, rate)
+            for t0, t1, rate in candidate.segments
+        ):
+            if probe is not None:
+                probe.candidates = examined
+            _count_shape(request, accepted=True)
+            return Allocation.for_profile(request, candidate)
+        if first_headroom is None:
+            first_headroom = (
+                ledger.free_capacity(
+                    "ingress", request.ingress, candidate.sigma, candidate.tau
+                ),
+                ledger.free_capacity(
+                    "egress", request.egress, candidate.sigma, candidate.tau
+                ),
+            )
+    if probe is not None:
+        probe.candidates = examined
+        if first_headroom is not None:
+            probe.ingress_headroom, probe.egress_headroom = first_headroom
+            ing_free, egr_free = first_headroom
+            probe.reason = (
+                RejectReason.INGRESS_FULL
+                if ing_free <= egr_free
+                else RejectReason.EGRESS_FULL
+            )
+        else:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+    _count_shape(request, accepted=False)
+    return None
+
+
+def shape_profile(
+    ledger: LedgerView,
+    request: Request,
+    *,
+    not_before: float | None = None,
+    max_rate: float | None = None,
+    probe: FitProbe | None = None,
+) -> RateProfile | None:
+    """Carve a volume-conserving stepwise profile out of residual capacity.
+
+    A greedy left-to-right water-fill: the request's window is cut into
+    elementary intervals at every instant the pair's residual capacity can
+    change; each interval contributes ``min(MaxRate, pair headroom)`` until
+    the volume is delivered (the final step is truncated to conserve volume
+    exactly).  Intervals with no headroom become gaps.  Returns ``None`` —
+    classifying the refusal as :attr:`RejectReason.PROFILE_INFEASIBLE` —
+    when the whole window cannot carry the volume even stepwise.
+
+    This is the shaping half of the malleable admission path; the sliding
+    half for caller-fixed shapes is :func:`earliest_fit_profile`.
+    """
+    earliest = request.t_start if not_before is None else max(request.t_start, not_before)
+    cap = request.max_rate if max_rate is None else min(max_rate, request.max_rate)
+    if earliest >= request.t_end or cap <= 0:
+        if probe is not None:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+        _count_shape(request, accepted=False)
+        return None
+    bounds = [earliest, *_pair_edges(ledger, request, earliest, request.t_end), request.t_end]
+    segments: list[tuple[float, float, float]] = []
+    remaining = request.volume
+    examined = 0
+    for a, b in zip(bounds, bounds[1:]):
+        examined += 1
+        rate = min(
+            cap,
+            ledger.free_capacity("ingress", request.ingress, a, b),
+            ledger.free_capacity("egress", request.egress, a, b),
+        )
+        if rate <= 0.0:
+            continue
+        step = rate * (b - a)
+        if step >= remaining:
+            segments.append((a, a + remaining / rate, rate))
+            remaining = 0.0
+            break
+        segments.append((a, b, rate))
+        remaining -= step
+    if probe is not None:
+        probe.candidates = examined
+    if remaining > 0.0 or not segments:
+        if probe is not None:
+            probe.reason = RejectReason.PROFILE_INFEASIBLE
+        _count_shape(request, accepted=False)
+        return None
+    shaped = RateProfile(segments)
+    _count_shape(request, accepted=True)
+    return shaped
+
+
+def _count_shape(request: Request, *, accepted: bool) -> None:
+    """Maintain the profile-booking counters on the active telemetry handle."""
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    outcome = "accepted" if accepted else "rejected"
+    tel.metrics.counter(
+        "booking_profile_total",
+        "Profile shaping/placement searches by outcome.",
+    ).inc(outcome=outcome)
 
 
 def book_earliest(

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import chain
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from typing import Any
 
 from .capacity import CAPACITY_SLACK, CapacityProfile, fits_under, make_profile
@@ -240,6 +240,54 @@ class PortLedger:
             raise CapacityError(f"negative release {bw}")
         self._ingress[ingress].add(t0, t1, -bw)
         self._egress[egress].add(t0, t1, -bw)
+
+    # ------------------------------------------------------------------
+    # Stepwise rate profiles (malleable transfers)
+    # ------------------------------------------------------------------
+    def fits_segments(
+        self, ingress: int, egress: int, segments: Iterable[tuple[float, float, float]]
+    ) -> bool:
+        """True when every ``(t0, t1, rate)`` step fits on both ports.
+
+        Segments are normalized (non-overlapping), so each step is an
+        independent constant-rate check — the 1-segment case is exactly
+        :meth:`fits`, keeping constant-rate decisions byte-identical.
+        """
+        return all(self.fits(ingress, egress, t0, t1, rate) for t0, t1, rate in segments)
+
+    def allocate_segments(
+        self,
+        ingress: int,
+        egress: int,
+        segments: Iterable[tuple[float, float, float]],
+        *,
+        check: bool = True,
+    ) -> None:
+        """Commit a stepwise profile on the pair, all segments or none.
+
+        With ``check=True`` the whole profile is probed first and a
+        :class:`CapacityError` raised (ledger untouched) when any step
+        would overflow either port.
+        """
+        steps = tuple(segments)
+        if check and not self.fits_segments(ingress, egress, steps):
+            raise CapacityError(
+                f"profile of {len(steps)} segments on pair ({ingress}, {egress}) "
+                f"exceeds a port capacity"
+            )
+        for t0, t1, rate in steps:
+            self._ingress[ingress].add(t0, t1, rate)
+            self._egress[egress].add(t0, t1, rate)
+
+    def release_segments(
+        self, ingress: int, egress: int, segments: Iterable[tuple[float, float, float]]
+    ) -> None:
+        """Return a previously committed stepwise profile on the pair."""
+        for t0, t1, rate in segments:
+            if rate < 0:
+                raise CapacityError(f"negative release {rate}")
+            self._ingress[ingress].add(t0, t1, -rate)
+            self._egress[egress].add(t0, t1, -rate)
 
     # ------------------------------------------------------------------
     def ingress_usage_at(self, i: int, t: float) -> float:

@@ -69,6 +69,17 @@ class Hold:
     #: timeout-abort that keeps a crashed *coordinator* from stranding
     #: capacity on a healthy broker.
     expires: float
+    #: Stepwise ``(t0, t1, rate)`` steps for a malleable (profile) hold;
+    #: ``None`` for the constant-rate case, where ``(t0, t1, bw)`` is the
+    #: whole story.  When present, ``t0``/``t1``/``bw`` summarise the
+    #: span and peak — idempotency keys and the wire shape are unchanged.
+    segments: tuple[tuple[float, float, float], ...] | None = None
+
+    def steps(self) -> tuple[tuple[float, float, float], ...]:
+        """The rate steps this hold pins (1-segment for constant holds)."""
+        if self.segments is not None:
+            return self.segments
+        return ((self.t0, self.t1, self.bw),)
 
 
 class ShardBroker:
@@ -178,9 +189,32 @@ class ShardBroker:
         """The headroom index's peak usage for an owned port."""
         return self.headroom.peak(side, port, self.timeline(side, port))
 
-    def fits_side(self, side: str, port: int, t0: float, t1: float, bw: float) -> bool:
-        """Would ``bw`` fit on this one port over all of ``[t0, t1)``?"""
+    def fits_side(
+        self,
+        side: str,
+        port: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
+    ) -> bool:
+        """Would ``bw`` (or each step of ``segments``) fit on this port?
+
+        With ``segments`` the check runs per step — the profile-aware
+        variant; steps are non-overlapping, so each is an independent
+        constant-rate fit and the 1-segment case answers identically to
+        the scalar form.
+        """
         self._require_owned(side, port)
+        if segments is not None:
+            return all(
+                self._fits_side_step(side, port, s0, s1, rate)
+                for s0, s1, rate in segments
+            )
+        return self._fits_side_step(side, port, t0, t1, bw)
+
+    def _fits_side_step(self, side: str, port: int, t0: float, t1: float, bw: float) -> bool:
         cap = self._capacity(side, port)
         if (side, port) not in self._degraded:
             return fits_under(self.max_usage(side, port, t0, t1), bw, cap)
@@ -189,15 +223,27 @@ class ShardBroker:
     def _capacity(self, side: str, port: int) -> float:
         return self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
 
-    def pair_fits(self, ingress: int, egress: int, t0: float, t1: float, bw: float) -> bool:
+    def pair_fits(
+        self,
+        ingress: int,
+        egress: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
+    ) -> bool:
         """Joint two-port fit when this shard owns *both* ports of a pair.
 
-        Delegates to the underlying :meth:`PortLedger.fits`, so a
-        shard-local admission answers exactly like the monolithic service
-        — the anchor of the single-shard equivalence guarantee.
+        Delegates to the underlying :meth:`PortLedger.fits` (per step for
+        a profile), so a shard-local admission answers exactly like the
+        monolithic service — the anchor of the single-shard equivalence
+        guarantee.
         """
         self._require_owned("ingress", ingress)
         self._require_owned("egress", egress)
+        if segments is not None:
+            return self._owned_ledger.fits_segments(ingress, egress, segments)
         return self._owned_ledger.fits(ingress, egress, t0, t1, bw)
 
     # ------------------------------------------------------------------
@@ -217,6 +263,7 @@ class ShardBroker:
         bw: float,
         *,
         key: object | None = None,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> None:
         """Atomically commit a shard-local pair booking (both ports owned).
 
@@ -225,7 +272,8 @@ class ShardBroker:
         ports at once, exactly like the monolithic service.  ``key``
         (the rid, when called through a channel) makes the call
         idempotent: a duplicated delivery finds the key recorded and
-        books nothing twice.
+        books nothing twice.  ``segments`` books a stepwise profile
+        instead of the constant ``(t0, t1, bw)``, all steps or none.
         """
         self._require_up()
         self._require_owned("ingress", ingress)
@@ -233,18 +281,55 @@ class ShardBroker:
         if key is not None and key in self._booked:
             self.add_work(1.0)
             return
-        self._owned_ledger.allocate(ingress, egress, t0, t1, bw)
+        if segments is not None:
+            self._owned_ledger.allocate_segments(ingress, egress, segments)
+        else:
+            self._owned_ledger.allocate(ingress, egress, t0, t1, bw)
         if key is not None:
             self._booked.add(key)
         self.headroom.invalidate("ingress", ingress)
         self.headroom.invalidate("egress", egress)
         self.add_work(1.0)
 
-    def release(self, side: str, port: int, t0: float, t1: float, bw: float) -> None:
+    def release(
+        self,
+        side: str,
+        port: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
+    ) -> None:
         """Return committed bandwidth on one owned port (cancel/abort path)."""
+        if segments is not None:
+            for s0, s1, rate in segments:
+                if rate < 0:
+                    raise ConfigurationError(f"negative release {rate}")
+                self._timeline_add(side, port, s0, s1, -rate)
+            self.add_work(1.0)
+            return
         if bw < 0:
             raise ConfigurationError(f"negative release {bw}")
         self._timeline_add(side, port, t0, t1, -bw)
+        self.add_work(1.0)
+
+    def restore(
+        self, side: str, port: int, segments: tuple[tuple[float, float, float], ...]
+    ) -> None:
+        """Re-add segments to one owned port without a capacity probe.
+
+        The malleable reshape path uses this twice: to roll a released
+        tail back after shaping failed (the region may legitimately sit
+        overcommitted after a degradation — that was the pre-existing
+        state, not ours to reject), and to commit a shaped profile that
+        fits by construction.
+        """
+        self._require_owned(side, port)
+        for s0, s1, rate in segments:
+            if rate < 0:
+                raise ConfigurationError(f"negative restore {rate}")
+            self._timeline_add(side, port, s0, s1, rate)
         self.add_work(1.0)
 
     def degrade(self, degradation: Degradation) -> None:
@@ -269,6 +354,7 @@ class ShardBroker:
         rid: int,
         expires: float,
         key: object | None = None,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> Hold | None:
         """Phase one: pin ``bw`` on one owned port, or refuse.
 
@@ -295,7 +381,7 @@ class ShardBroker:
             if self._resolution.get(prior.hold_id) == "committed":
                 return prior
             return None  # aborted / expired / wiped: transaction is over
-        if not self.fits_side(side, port, t0, t1, bw):
+        if not self.fits_side(side, port, t0, t1, bw, segments=segments):
             if key is not None:
                 self._prepared[key] = None
             return None
@@ -308,8 +394,10 @@ class ShardBroker:
             bw=bw,
             rid=rid,
             expires=expires,
+            segments=segments,
         )
-        self._timeline_add(side, port, t0, t1, bw)
+        for s0, s1, rate in hold.steps():
+            self._timeline_add(side, port, s0, s1, rate)
         self._holds[hold.hold_id] = hold
         if key is not None:
             self._prepared[key] = hold
@@ -340,7 +428,8 @@ class ShardBroker:
         hold = self._holds.pop(hold_id, None)
         if hold is None:
             return False
-        self._timeline_add(hold.side, hold.port, hold.t0, hold.t1, -hold.bw)
+        for s0, s1, rate in hold.steps():
+            self._timeline_add(hold.side, hold.port, s0, s1, -rate)
         self._resolution[hold_id] = resolution
         self.add_work(1.0)
         return True
@@ -447,6 +536,9 @@ class ShardBroker:
                     "bw": h.bw,
                     "rid": h.rid,
                     "expires": h.expires,
+                    # Key present only for malleable holds: constant-rate
+                    # snapshots stay byte-identical to the scalar format.
+                    **({"segments": [list(s) for s in h.segments]} if h.segments is not None else {}),
                 }
                 for h in self.holds()
             ],

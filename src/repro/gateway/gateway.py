@@ -38,10 +38,11 @@ from typing import Any
 
 from ..control.journal import Journal
 from ..control.service import Reservation, ReservationState
-from ..core.booking import RejectReason, deadline_tolerance
-from ..core.errors import ConfigurationError, InternalInvariantError
+from ..core.booking import RejectReason, deadline_tolerance, shape_profile
+from ..core.errors import ConfigurationError, InternalInvariantError, InvalidRequestError
 from ..core.ledger import CAPACITY_SLACK, Degradation
 from ..core.platform import Platform
+from ..core.profile import RateProfile
 from ..core.request import Request
 from ..obs.causal import CausalObserver, TraceContext
 from ..obs.recorder import FlightRecorder
@@ -55,6 +56,7 @@ from .rpc import ChaosPolicy
 from .sharding import ShardMap
 from .broker import ShardBroker
 from .twophase import TwoPhaseCoordinator
+from .view import PairLedgerView
 
 __all__ = ["Gateway", "GatewayStats", "Ticket"]
 
@@ -84,6 +86,8 @@ class GatewayStats:
     aborted: int = 0
     degradations: int = 0
     displaced: int = 0
+    #: Live reservations whose tail was re-shaped instead of displaced.
+    reshaped: int = 0
     crashes: int = 0
     restarts: int = 0
     #: Requests rejected ``shard-unreachable`` (chaos: retry/deadline out).
@@ -128,6 +132,8 @@ class Ticket:
     #: The admission decision; ``None`` while the batch is still open.
     reservation: Reservation | None = None
     origin: int | None = None
+    #: The stepwise shape the client asked for (``None`` = constant rate).
+    profile: RateProfile | None = None
 
     @property
     def decided(self) -> bool:
@@ -209,6 +215,7 @@ class Gateway:
         chaos: ChaosPolicy | None = None,
         rpc_deadline: float | None = None,
         backlog_limit: int = 0,
+        malleable: bool = False,
         journal: Journal | None = None,
         telemetry: Telemetry | None = None,
         recorder: FlightRecorder | None = None,
@@ -229,6 +236,10 @@ class Gateway:
         self.chaos = chaos
         self.rpc_deadline = rpc_deadline
         self.backlog_limit = backlog_limit
+        #: Opt-in stepwise-profile admission: shaped fallback after a
+        #: constant-rate reject, and reshape-before-displace on degrade.
+        #: Off (the default) the gateway is decision-identical to before.
+        self.malleable = malleable
         self.recorder = recorder
         self.slo = slo
         self._observer = CausalObserver(lambda: self.telemetry, recorder=recorder)
@@ -267,27 +278,30 @@ class Gateway:
         #: Accumulated simulated critical-path cost (see module docstring).
         self.simulated_cost = 0.0
         if journal is not None:
-            journal.set_header(
-                {
-                    "kind": "gateway",
-                    "platform": platform.to_dict(),
-                    "num_shards": num_shards,
-                    "batch_size": batch_size,
-                    "ordering": self.batcher.ordering.value,
-                    "policy": self.policy.name,
-                    "hold_ttl": hold_ttl,
-                    "backoff": {
-                        "base": self.backoff.base,
-                        "multiplier": self.backoff.multiplier,
-                        "max_attempts": self.backoff.max_attempts,
-                        "jitter": self.backoff.jitter,
-                    },
-                    "edge": edge.to_dict() if edge is not None else None,
-                    "chaos": chaos.to_dict() if chaos is not None else None,
-                    "rpc_deadline": rpc_deadline,
-                    "backlog_limit": backlog_limit,
-                }
-            )
+            header: dict[str, Any] = {
+                "kind": "gateway",
+                "platform": platform.to_dict(),
+                "num_shards": num_shards,
+                "batch_size": batch_size,
+                "ordering": self.batcher.ordering.value,
+                "policy": self.policy.name,
+                "hold_ttl": hold_ttl,
+                "backoff": {
+                    "base": self.backoff.base,
+                    "multiplier": self.backoff.multiplier,
+                    "max_attempts": self.backoff.max_attempts,
+                    "jitter": self.backoff.jitter,
+                },
+                "edge": edge.to_dict() if edge is not None else None,
+                "chaos": chaos.to_dict() if chaos is not None else None,
+                "rpc_deadline": rpc_deadline,
+                "backlog_limit": backlog_limit,
+            }
+            if malleable:
+                # Key present only when the feature is on, so journals of
+                # constant-rate gateways stay byte-identical.
+                header["malleable"] = True
+            journal.set_header(header)
 
     # ------------------------------------------------------------------
     @property
@@ -379,18 +393,27 @@ class Gateway:
         max_rate: float | None = None,
         client: str = "default",
         origin: int | None = None,
+        profile: RateProfile | list[Any] | None = None,
     ) -> Ticket:
         """Enqueue a transfer; the decision lands when its batch flushes.
 
         With ``batch_size=1`` the batch flushes inside this call and the
         returned ticket is already decided.  ``origin`` links a rebooking
-        to the reservation it replaces, as on the service.
+        to the reservation it replaces, as on the service.  ``profile``
+        requests a stepwise (malleable) rate shape — absolute-time
+        ``(t0, t1, rate)`` segments delivering exactly ``volume`` MB —
+        placed as-given or slid later within the window.
         """
         self._advance(now)
         if max_rate is None:
             max_rate = self.platform.bottleneck(ingress, egress)
         if origin is not None and origin not in self._reservations:
             raise KeyError(f"unknown origin reservation {origin}")
+        wanted = RateProfile.maybe_from(profile)
+        if wanted is not None and not wanted.conserves(volume):
+            raise InvalidRequestError(
+                f"profile delivers {wanted.volume} MB but the submission asks for {volume} MB"
+            )
         # Structural validation happens in the Request constructor and
         # propagates as InvalidRequestError (malformed, not rejected) —
         # nothing is journaled for a submission that never existed, so the
@@ -409,20 +432,23 @@ class Gateway:
         self._next_rid += 1
         seq = self._next_seq
         self._next_seq += 1
-        ticket = Ticket(seq=seq, client=client, request=request, origin=origin)
-        self._tickets[rid] = ticket
-        self._record(
-            "gw_submit",
-            now,
-            rid=rid,
-            client=client,
-            ingress=ingress,
-            egress=egress,
-            volume=volume,
-            deadline=deadline,
-            max_rate=max_rate,
-            origin=origin,
+        ticket = Ticket(
+            seq=seq, client=client, request=request, origin=origin, profile=wanted
         )
+        self._tickets[rid] = ticket
+        args: dict[str, Any] = {
+            "rid": rid,
+            "client": client,
+            "ingress": ingress,
+            "egress": egress,
+            "volume": volume,
+            "deadline": deadline,
+            "max_rate": max_rate,
+            "origin": origin,
+        }
+        if wanted is not None:
+            args["profile"] = wanted.to_list()
+        self._record("gw_submit", now, **args)
         self.stats.submits += 1
         ctx: TraceContext | None = None
         if self._tracing():
@@ -559,7 +585,12 @@ class Gateway:
         request = ticket.request
         ctx = self._trace_roots.get(request.rid)
         outcome = self.coordinator.reserve(
-            request, lambda sigma: self.policy.assign(request, sigma), now, ctx=ctx
+            request,
+            lambda sigma: self.policy.assign(request, sigma),
+            now,
+            ctx=ctx,
+            profile=ticket.profile,
+            malleable=self.malleable,
         )
         reservation = Reservation(
             rid=request.rid,
@@ -769,6 +800,7 @@ class Gateway:
                 lambda sigma, r=candidate: self.policy.assign(r, sigma),
                 now,
                 ctx=ctx,
+                malleable=self.malleable,
             )
             accepted = outcome.allocation is not None
             if self.slo is not None:
@@ -1024,25 +1056,38 @@ class Gateway:
             "gw_degrade", now, side=side, port=port, amount=amount, start=start, end=end
         )
         displaced: list[Reservation] = []
+        reshaped_rids: list[int] = []
         cap = self.platform.bin(port) if side == "ingress" else self.platform.bout(port)
         tol = CAPACITY_SLACK * max(1.0, cap)
         while broker.overcommit_on(side, port, start, end) > tol:
             victim = self._displacement_victim(side, port, start, end, now)
             if victim is None:
                 break  # remaining overcommit is not ours to resolve
+            if (
+                self.malleable
+                and victim.rid not in reshaped_rids
+                and self._reshape_tail(victim, now)
+            ):
+                # Malleable recovery: the victim's tail was re-carved
+                # around the degraded window — no displacement needed.
+                # Each rid is tried once per degradation; a reshaped
+                # reservation that still blocks the port is displaced on
+                # the next pass.
+                reshaped_rids.append(victim.rid)
+                continue
             self._release_tail(victim, now)
             victim.displaced_at = now
             self.stats.displaced += 1
             displaced.append(victim)
-        self._flight(
-            "gateway",
-            now,
-            "degrade",
-            side=side,
-            port=port,
-            amount=amount,
-            displaced=[r.rid for r in displaced],
-        )
+        flight_fields: dict[str, Any] = {
+            "side": side,
+            "port": port,
+            "amount": amount,
+            "displaced": [r.rid for r in displaced],
+        }
+        if reshaped_rids:
+            flight_fields["reshaped"] = reshaped_rids
+        self._flight("gateway", now, "degrade", **flight_fields)
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter(
@@ -1053,17 +1098,108 @@ class Gateway:
                     "gateway_displacements_total",
                     "Reservations displaced by degradations.",
                 ).inc(float(len(displaced)))
-            tel.emit(
-                "gateway.degrade",
-                now,
-                side=side,
-                port=port,
-                amount=amount,
-                start=start,
-                end=end,
-                displaced=[r.rid for r in displaced],
-            )
+            fields: dict[str, Any] = {
+                "side": side,
+                "port": port,
+                "amount": amount,
+                "start": start,
+                "end": end,
+                "displaced": [r.rid for r in displaced],
+            }
+            if reshaped_rids:
+                fields["reshaped"] = reshaped_rids
+            tel.emit("gateway.degrade", now, **fields)
         return displaced
+
+    def reshape(self, rid: int, *, now: float) -> bool:
+        """Re-shape a live reservation's unconsumed tail (malleable verb).
+
+        Mirrors :meth:`~repro.control.service.ReservationService.reshape`:
+        the tail ``[max(now, σ), τ)`` returns to its shards and the still
+        undelivered volume is re-carved into the pair's residual capacity
+        valleys.  On failure the original tail is restored exactly.
+        Journaled as ``gw_reshape``; returns True when re-shaped.
+        """
+        self._advance(now)
+        self._flush(self._clock)
+        reservation = self._require_reservation(rid)
+        self._record("gw_reshape", now, rid=rid)
+        if reservation.state(now) in (ReservationState.CONFIRMED, ReservationState.ACTIVE):
+            ok = self._reshape_tail(reservation, now)
+        else:
+            ok = False
+        self._trace_event(
+            "gateway",
+            now,
+            "gateway.trace.reshape",
+            self._trace_roots.get(rid),
+            rid=rid,
+            reshaped=ok,
+        )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "gateway_reshapes_total", "Malleable tail re-shapes by effect."
+            ).inc(reshaped=str(ok).lower())
+            tel.emit("gateway.reshape", now, rid=rid, reshaped=ok)
+        return ok
+
+    def _reshape_tail(self, reservation: Reservation, now: float) -> bool:
+        """Release + re-carve one live tail; restores the shards on failure."""
+        alloc = reservation.allocation
+        if alloc is None:
+            raise InternalInvariantError(
+                f"reservation {reservation.rid} is live but carries no allocation"
+            )
+        release_from = max(now, alloc.sigma)
+        if release_from >= alloc.tau:
+            return False
+        if alloc.profile is not None:
+            old_tail = alloc.profile.tail_from(release_from).segments
+        else:
+            old_tail = ((release_from, alloc.tau, alloc.bw),)
+        residual = max(0.0, reservation.request.volume - alloc.carried_before(release_from))
+        if residual <= 0.0 or not old_tail:
+            return False
+        try:
+            target = Request(
+                rid=reservation.rid,
+                ingress=alloc.ingress,
+                egress=alloc.egress,
+                volume=residual,
+                t_start=release_from,
+                t_end=reservation.request.t_end,
+                max_rate=reservation.request.max_rate,
+            )
+        except InvalidRequestError:
+            return False  # residual window no longer structurally valid
+        self.coordinator.release_pair(
+            alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw,
+            segments=old_tail,
+        )
+        view = PairLedgerView(
+            self.coordinator.broker_for("ingress", alloc.ingress),
+            self.coordinator.broker_for("egress", alloc.egress),
+            alloc.ingress,
+            alloc.egress,
+        )
+        shaped = shape_profile(view, target, not_before=release_from)
+        if shaped is None:
+            # Put the tail back exactly; unchecked because the region may
+            # sit in an already-overcommitted (degraded) state — that was
+            # the pre-existing condition, not ours to reject.
+            self.coordinator.restore_pair(alloc.ingress, alloc.egress, old_tail)
+            return False
+        if alloc.profile is not None:
+            head = alloc.profile.head_until(release_from)
+        elif release_from > alloc.sigma:
+            head = RateProfile.constant(alloc.sigma, release_from, alloc.bw)
+        else:
+            head = RateProfile(())
+        self.coordinator.restore_pair(alloc.ingress, alloc.egress, shaped.segments)
+        reservation.allocation = alloc.with_profile(head.concat(shaped))
+        self.stats.reshaped += 1
+        return True
 
     def _displacement_victim(
         self, side: str, port: int, start: float, end: float, now: float
@@ -1102,6 +1238,15 @@ class Gateway:
         release_from = max(now, alloc.sigma)
         if release_from >= alloc.tau:
             return 0.0
+        if alloc.profile is not None:
+            tail = alloc.profile.tail_from(release_from)
+            if not tail:
+                return 0.0
+            self.coordinator.release_pair(
+                alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw,
+                segments=tail.segments,
+            )
+            return tail.volume
         self.coordinator.release_pair(
             alloc.ingress, alloc.egress, release_from, alloc.tau, alloc.bw
         )
@@ -1286,6 +1431,7 @@ class Gateway:
             chaos=ChaosPolicy.from_dict(chaos_cfg) if chaos_cfg is not None else None,
             rpc_deadline=float(rpc_deadline) if rpc_deadline is not None else None,
             backlog_limit=int(header.get("backlog_limit", 0)),
+            malleable=bool(header.get("malleable", False)),
             journal=None,
         )
         for entry in journal:
@@ -1300,6 +1446,7 @@ class Gateway:
                     max_rate=args.get("max_rate"),
                     client=str(args.get("client", "default")),
                     origin=args.get("origin"),
+                    profile=args.get("profile"),
                 )
             elif entry.op == "gw_drain":
                 gateway.drain(entry.now)
@@ -1316,6 +1463,8 @@ class Gateway:
                     end=float(args["end"]),
                     now=entry.now,
                 )
+            elif entry.op == "gw_reshape":
+                gateway.reshape(int(args["rid"]), now=entry.now)
             elif entry.op == "gw_crash":
                 gateway.crash_broker(int(args["shard"]), now=entry.now)
             elif entry.op == "gw_restart":

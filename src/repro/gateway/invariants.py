@@ -82,7 +82,9 @@ def _expected_intervals(gateway: Gateway) -> dict[tuple[str, int], list[tuple[fl
 
     A live reservation occupies ``[σ, τ)``; one that ended early
     (cancel / abort / displacement) kept only ``[σ, min(τ, max(end, σ)))``
-    — its tail was released back to the shards.  Live two-phase holds pin
+    — its tail was released back to the shards.  A stepwise (malleable)
+    reservation contributes its profile segments instead of one constant
+    rectangle, head-truncated the same way.  Live two-phase holds pin
     their window too (prepare books capacity immediately).
     """
     expected: dict[tuple[str, int], list[tuple[float, float, float]]] = {}
@@ -91,6 +93,16 @@ def _expected_intervals(gateway: Gateway) -> dict[tuple[str, int], list[tuple[fl
         if alloc is None:
             continue
         stop = reservation.terminated_at
+        if alloc.profile is not None:
+            kept = (
+                alloc.profile
+                if stop is None
+                else alloc.profile.head_until(max(stop, alloc.sigma))
+            )
+            for s0, s1, rate in kept.segments:
+                expected.setdefault(("ingress", alloc.ingress), []).append((s0, s1, rate))
+                expected.setdefault(("egress", alloc.egress), []).append((s0, s1, rate))
+            continue
         end = alloc.tau if stop is None else min(alloc.tau, max(stop, alloc.sigma))
         if end <= alloc.sigma:
             continue
@@ -102,9 +114,8 @@ def _expected_intervals(gateway: Gateway) -> dict[tuple[str, int], list[tuple[fl
         )
     for broker in gateway.brokers:
         for hold in broker.holds():
-            expected.setdefault((hold.side, hold.port), []).append(
-                (hold.t0, hold.t1, hold.bw)
-            )
+            for s0, s1, rate in hold.steps():
+                expected.setdefault((hold.side, hold.port), []).append((s0, s1, rate))
     return expected
 
 

@@ -518,11 +518,25 @@ class Channel:
         expires: float,
         now: float,
         ctx: TraceContext | None = None,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> Hold | None:
-        """Phase one through the channel; ``(rid, side)`` keys the replay."""
+        """Phase one through the channel; ``(rid, side)`` keys the replay.
+
+        ``segments`` rides the wire for malleable (stepwise-profile)
+        holds; the idempotency key is unchanged, so duplicate deliveries
+        of a profile prepare replay exactly like constant ones.
+        """
         if self.policy is None:
             hold = self.broker.prepare(
-                side, port, t0, t1, bw, rid=rid, expires=expires, key=(rid, side)
+                side,
+                port,
+                t0,
+                t1,
+                bw,
+                rid=rid,
+                expires=expires,
+                key=(rid, side),
+                segments=segments,
             )
             self._observe_delivery(
                 "prepare", now, ctx, rid=rid, side=side, held=hold is not None
@@ -531,7 +545,15 @@ class Channel:
         hold = self.deliver(
             "prepare",
             lambda: self.broker.prepare(
-                side, port, t0, t1, bw, rid=rid, expires=expires, key=(rid, side)
+                side,
+                port,
+                t0,
+                t1,
+                bw,
+                rid=rid,
+                expires=expires,
+                key=(rid, side),
+                segments=segments,
             ),
             now=now,
             ctx=ctx,
@@ -576,15 +598,18 @@ class Channel:
         rid: int,
         now: float,
         ctx: TraceContext | None = None,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> None:
         """Shard-local atomic booking through the channel; ``rid`` keys it."""
         if self.policy is None:
-            self.broker.book_pair(ingress, egress, t0, t1, bw, key=rid)
+            self.broker.book_pair(ingress, egress, t0, t1, bw, key=rid, segments=segments)
             self._observe_delivery("book_pair", now, ctx, rid=rid)
             return
         self.deliver(
             "book_pair",
-            lambda: self.broker.book_pair(ingress, egress, t0, t1, bw, key=rid),
+            lambda: self.broker.book_pair(
+                ingress, egress, t0, t1, bw, key=rid, segments=segments
+            ),
             now=now,
             ctx=ctx,
         )
@@ -599,17 +624,18 @@ class Channel:
         *,
         now: float,
         ctx: TraceContext | None = None,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> None:
         """Compensation release — ``reliable``: modelled as a durable
         compensation record replayed until acknowledged, so undoing a
         partial commit can never itself be lost."""
         if self.policy is None:
-            self.broker.release(side, port, t0, t1, bw)
+            self.broker.release(side, port, t0, t1, bw, segments=segments)
             self._observe_delivery("release", now, ctx, side=side)
             return
         self.deliver(
             "release",
-            lambda: self.broker.release(side, port, t0, t1, bw),
+            lambda: self.broker.release(side, port, t0, t1, bw, segments=segments),
             now=now,
             ctx=ctx,
             reliable=True,

@@ -51,9 +51,17 @@ from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING, TypeVar
 
 from ..core.allocation import Allocation
-from ..core.booking import FitProbe, RejectReason, deadline_tolerance, earliest_fit
+from ..core.booking import (
+    FitProbe,
+    RejectReason,
+    deadline_tolerance,
+    earliest_fit,
+    earliest_fit_profile,
+    shape_profile,
+)
 from ..core.errors import ConfigurationError, InternalInvariantError
 from ..core.capacity import fits_under
+from ..core.profile import RateProfile
 from ..core.request import Request
 from ..obs.causal import child_of
 from ..schedulers.retry import BackoffSchedule
@@ -145,6 +153,8 @@ class TwoPhaseCoordinator:
         now: float,
         *,
         ctx: TraceContext | None = None,
+        profile: RateProfile | None = None,
+        malleable: bool = False,
     ) -> TwoPhaseOutcome:
         """Admit one request: search, then place it consistently.
 
@@ -153,6 +163,13 @@ class TwoPhaseCoordinator:
         ``ctx`` (when tracing) is the request's causal context; each
         protocol phase runs under a derived child context so faults land
         on the right hop of the timeline.
+
+        ``profile`` places an explicitly requested stepwise shape
+        (:func:`~repro.core.booking.earliest_fit_profile`) instead of the
+        constant-rate search.  ``malleable`` enables the shaped fallback:
+        when the constant search rejects for capacity, a profile is
+        shaped into the pair's residual valleys before giving up — the
+        constant path itself stays decision-identical.
         """
         ingress_broker = self.broker_for("ingress", request.ingress)
         egress_broker = self.broker_for("egress", request.egress)
@@ -160,21 +177,46 @@ class TwoPhaseCoordinator:
         outcome = TwoPhaseOutcome(allocation=None, probe=probe)
         outcome.local = ingress_broker is egress_broker
 
-        allocation = self._fastpath(request, rate_for, ingress_broker, egress_broker, probe)
-        if allocation is not None:
-            outcome.fastpath = True
-        else:
-            if probe.reason is not None:
-                # The fast path already proved the window infeasible.
-                return outcome
+        if profile is not None:
             view = PairLedgerView(
                 ingress_broker, egress_broker, request.ingress, request.egress
             )
-            allocation = earliest_fit(view, request, rate_for, probe=probe)
+            allocation = earliest_fit_profile(
+                view, request, profile, not_before=request.t_start, probe=probe
+            )
             ingress_broker.add_work(float(max(1, probe.candidates)))
             egress_broker.add_work(float(max(1, probe.candidates)))
-        if allocation is None:
-            return outcome
+            if allocation is None:
+                return outcome
+        else:
+            allocation = self._fastpath(
+                request, rate_for, ingress_broker, egress_broker, probe
+            )
+            if allocation is not None:
+                outcome.fastpath = True
+            else:
+                if probe.reason is not None:
+                    # The fast path already proved the window infeasible.
+                    return outcome
+                view = PairLedgerView(
+                    ingress_broker, egress_broker, request.ingress, request.egress
+                )
+                allocation = earliest_fit(view, request, rate_for, probe=probe)
+                ingress_broker.add_work(float(max(1, probe.candidates)))
+                egress_broker.add_work(float(max(1, probe.candidates)))
+                if allocation is None and malleable:
+                    shaped_probe = FitProbe()
+                    shaped = shape_profile(view, request, probe=shaped_probe)
+                    ingress_broker.add_work(float(max(1, shaped_probe.candidates)))
+                    egress_broker.add_work(float(max(1, shaped_probe.candidates)))
+                    if shaped is not None:
+                        allocation = Allocation.for_profile(request, shaped)
+                        probe = shaped_probe
+                        outcome.probe = shaped_probe
+                    # On shaping failure the constant search's diagnostics
+                    # are kept — they name the fuller port.
+            if allocation is None:
+                return outcome
 
         if outcome.local:
             self._place_local(
@@ -247,6 +289,7 @@ class TwoPhaseCoordinator:
     ) -> None:
         """Shard-local placement: one atomic pair booking, no protocol."""
         book_ctx = child_of(ctx, "book")
+        segments = allocation.segments() if allocation.profile is not None else None
         try:
             self._with_retry(
                 lambda: channel.book_pair(
@@ -258,6 +301,7 @@ class TwoPhaseCoordinator:
                     rid=allocation.rid,
                     now=now,
                     ctx=book_ctx,
+                    segments=segments,
                 ),
                 outcome,
             )
@@ -287,6 +331,7 @@ class TwoPhaseCoordinator:
     ) -> None:
         """Cross-shard placement: prepare both holds, then commit both."""
         expires = now + self.hold_ttl
+        segments = allocation.segments() if allocation.profile is not None else None
         plan = (
             (
                 self.channel_for("ingress", allocation.ingress),
@@ -316,6 +361,7 @@ class TwoPhaseCoordinator:
                         expires=expires,
                         now=now,
                         ctx=x,
+                        segments=segments,
                     ),
                     outcome,
                 )
@@ -413,6 +459,7 @@ class TwoPhaseCoordinator:
                 hold.bw,
                 now=now,
                 ctx=child_of(ctx, f"release:{hold.side}"),
+                segments=hold.segments,
             )
             outcome.compensations += 1
 
@@ -469,10 +516,40 @@ class TwoPhaseCoordinator:
         return expired
 
     def release_pair(
-        self, ingress: int, egress: int, t0: float, t1: float, bw: float
+        self,
+        ingress: int,
+        egress: int,
+        t0: float,
+        t1: float,
+        bw: float,
+        *,
+        segments: tuple[tuple[float, float, float], ...] | None = None,
     ) -> None:
-        """Release a committed pair booking back to the owning brokers."""
+        """Release a committed pair booking back to the owning brokers.
+
+        ``segments`` releases a stepwise profile instead of the constant
+        ``(t0, t1, bw)`` rectangle (the malleable tail-release path).
+        """
         if t1 <= t0:
             raise InternalInvariantError(f"empty release window [{t0}, {t1})")
-        self.broker_for("ingress", ingress).release("ingress", ingress, t0, t1, bw)
-        self.broker_for("egress", egress).release("egress", egress, t0, t1, bw)
+        self.broker_for("ingress", ingress).release(
+            "ingress", ingress, t0, t1, bw, segments=segments
+        )
+        self.broker_for("egress", egress).release(
+            "egress", egress, t0, t1, bw, segments=segments
+        )
+
+    def restore_pair(
+        self,
+        ingress: int,
+        egress: int,
+        segments: tuple[tuple[float, float, float], ...],
+    ) -> None:
+        """Re-add segments on both owning brokers without a capacity probe.
+
+        The reshape path's inverse of :meth:`release_pair` — used to roll
+        a released tail back when shaping failed, and to commit a shaped
+        profile that fits by construction.
+        """
+        self.broker_for("ingress", ingress).restore("ingress", ingress, segments)
+        self.broker_for("egress", egress).restore("egress", egress, segments)

@@ -33,6 +33,9 @@ class FaultStats:
     degradations: int = 0
     #: Reservations cancelled because a degradation left them infeasible.
     displaced: int = 0
+    #: Live reservations whose tail was re-shaped into residual capacity
+    #: (the malleable-transfer recovery verb, tried before displacement).
+    reshaped: int = 0
     #: MB carried by transfers before they aborted (burned for nothing).
     wasted_volume: float = 0.0
     #: MB of reservation tail returned to the ledger by aborts/displacements.

@@ -7,7 +7,7 @@ Flexible-request heuristics: :class:`GreedyFlexible` (Algorithm 2) and
 :class:`BandwidthPolicy`.
 """
 
-from .advance import EarliestStartFlexible
+from .advance import EarliestStartFlexible, GuaranteedProfile
 from .base import Scheduler
 from .costs import (
     ArrivalCost,
@@ -41,6 +41,7 @@ __all__ = [
     "FractionOfMaxPolicy",
     "FullRatePolicy",
     "GreedyFlexible",
+    "GuaranteedProfile",
     "LocalSearchScheduler",
     "MinBwCost",
     "MinRatePolicy",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.allocation import Allocation, ScheduleResult
+from ..core.booking import RejectReason, shape_profile
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
@@ -26,7 +27,7 @@ from ..obs.telemetry import get_telemetry
 from .base import Scheduler
 from .policies import BandwidthPolicy, MinRatePolicy
 
-__all__ = ["EarliestStartFlexible"]
+__all__ = ["EarliestStartFlexible", "GuaranteedProfile"]
 
 
 @dataclass
@@ -63,28 +64,39 @@ class EarliestStartFlexible(Scheduler):
                     starts.add(float(t))
         return sorted(starts)
 
+    def _admit(
+        self, ledger: PortLedger, request: Request
+    ) -> tuple[Allocation | None, int, str]:
+        """Decide one arrival against the live ledger (committing on accept).
+
+        Returns ``(allocation, candidates_examined, reject_reason)`` —
+        the allocation is ``None`` on rejection.  Subclasses override this
+        to append fallback admission modes after the constant-rate search.
+        """
+        examined = 0
+        for sigma in self._candidate_starts(ledger, request):
+            examined += 1
+            bw = self.policy.assign(request, sigma)
+            if bw is None:
+                continue
+            tau = sigma + request.volume / bw
+            if tau > request.t_end * (1 + 1e-12):
+                continue
+            if ledger.fits(request.ingress, request.egress, sigma, tau, bw):
+                ledger.allocate(request.ingress, request.egress, sigma, tau, bw)
+                return Allocation.for_request(request, bw, sigma=sigma), examined, ""
+        return None, examined, "capacity"
+
     def schedule(self, problem: ProblemInstance) -> ScheduleResult:
         result = self._new_result(policy=self.policy.name)
         ledger = PortLedger(problem.platform)
         tel = get_telemetry()
         for request in problem.requests.sorted_by_arrival():
-            booked = False
-            examined = 0
-            for sigma in self._candidate_starts(ledger, request):
-                examined += 1
-                bw = self.policy.assign(request, sigma)
-                if bw is None:
-                    continue
-                tau = sigma + request.volume / bw
-                if tau > request.t_end * (1 + 1e-12):
-                    continue
-                if ledger.fits(request.ingress, request.egress, sigma, tau, bw):
-                    ledger.allocate(request.ingress, request.egress, sigma, tau, bw)
-                    result.accept(Allocation.for_request(request, bw, sigma=sigma))
-                    booked = True
-                    break
-            if not booked:
-                result.reject(request.rid, "capacity")
+            allocation, examined, reason = self._admit(ledger, request)
+            if allocation is not None:
+                result.accept(allocation)
+            else:
+                result.reject(request.rid, reason)
             if tel.enabled:
                 tel.metrics.counter(
                     "scheduler_candidates_examined_total",
@@ -92,3 +104,41 @@ class EarliestStartFlexible(Scheduler):
                 ).inc(float(examined), scheduler=self.name)
         self._observe_schedule(problem, result)
         return result
+
+
+@dataclass
+class GuaranteedProfile(EarliestStartFlexible):
+    """Book-ahead admission with a shaped stepwise-profile fallback.
+
+    Runs exactly the parent's earliest-feasible-start search first, so a
+    request any constant rate can serve books the same allocation the
+    ``bookahead`` family would (decision-identical on those requests).
+    Only when *every* constant-rate candidate is rejected does the variant
+    ask :func:`~repro.core.booking.shape_profile` to carve a stepwise,
+    volume-conserving :class:`~repro.core.profile.RateProfile` out of the
+    pair's residual capacity valleys — accepting transfers that fit the
+    window only at a time-varying rate.  Requests even shaping cannot
+    place reject as ``profile-infeasible``, keeping the two admission
+    models separable in reject tallies.
+    """
+
+    def __post_init__(self) -> None:
+        self.name = f"guaranteed-profile[{self.policy.name}]"
+
+    def _admit(
+        self, ledger: PortLedger, request: Request
+    ) -> tuple[Allocation | None, int, str]:
+        allocation, examined, reason = super()._admit(ledger, request)
+        if allocation is not None:
+            return allocation, examined, reason
+        shaped = shape_profile(ledger, request)
+        if shaped is None:
+            return None, examined, RejectReason.PROFILE_INFEASIBLE.value
+        ledger.allocate_segments(request.ingress, request.egress, shaped.segments)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "scheduler_shaped_accepts_total",
+                "Requests admitted via the shaped-profile fallback, per scheduler.",
+            ).inc(scheduler=self.name)
+        return Allocation.for_profile(request, shaped), examined, ""

@@ -16,7 +16,7 @@ from .costs import ArrivalCost, CumulatedCost, MinBwCost, MinVolCost
 from .flexible import GreedyFlexible, WindowFlexible
 from .localsearch import LocalSearchScheduler
 from .policies import FractionOfMaxPolicy, MinRatePolicy
-from .advance import EarliestStartFlexible
+from .advance import EarliestStartFlexible, GuaranteedProfile
 from .retry import RetryGreedyFlexible
 from .rigid import FCFSRigid, SlotsScheduler
 
@@ -57,6 +57,9 @@ _FACTORIES: dict[str, Callable[[dict[str, Any]], Scheduler]] = {
         enforce_deadline=kw.pop("enforce_deadline", True),
     ),
     "bookahead": lambda kw: EarliestStartFlexible(
+        policy=_make_policy(kw.pop("policy", None)),
+    ),
+    "guaranteed-profile": lambda kw: GuaranteedProfile(
         policy=_make_policy(kw.pop("policy", None)),
     ),
     "localsearch": lambda kw: LocalSearchScheduler(

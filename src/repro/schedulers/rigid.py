@@ -16,7 +16,7 @@ window-implied rate; the scheduler only decides accept/reject.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..core.errors import ConfigurationError
 from ..core.ledger import PortLedger
 from ..core.problem import ProblemInstance
 from ..core.request import Request
+from ..units import seconds_eq
 from .base import Scheduler
 from .costs import ArrivalCost, CumulatedCost, MinBwCost, MinVolCost, SlotCost
 
@@ -37,6 +38,21 @@ __all__ = [
     "minbw_slots",
     "minvol_slots",
 ]
+
+
+def _rigid_allocation(request: Request) -> Allocation:
+    """Allocation occupying exactly the rigid request's window.
+
+    ``Allocation.for_request`` re-derives ``τ = σ + volume/bw``, which can
+    land a few ulps past ``t_end`` — enough to create a sliver overlap
+    with a request starting exactly at ``t_end`` and fail verification on
+    an interval a femtosecond wide.  A rigid request runs over exactly its
+    requested window, so snap ``τ`` back when the two agree.
+    """
+    alloc = Allocation.for_request(request, request.min_rate)
+    if seconds_eq(alloc.tau, request.t_end):
+        alloc = replace(alloc, tau=request.t_end)
+    return alloc
 
 
 class FCFSRigid(Scheduler):
@@ -55,7 +71,7 @@ class FCFSRigid(Scheduler):
             bw = request.min_rate
             if ledger.fits(request.ingress, request.egress, request.t_start, request.t_end, bw):
                 ledger.allocate(request.ingress, request.egress, request.t_start, request.t_end, bw)
-                result.accept(Allocation.for_request(request, bw))
+                result.accept(_rigid_allocation(request))
             else:
                 result.reject(request.rid, "capacity")
         self._observe_schedule(problem, result)
@@ -137,7 +153,7 @@ class SlotsScheduler(Scheduler):
             result.reject(rid, "capacity")
         for request in requests:
             if request.rid in alive:
-                result.accept(Allocation.for_request(request, request.min_rate))
+                result.accept(_rigid_allocation(request))
         self._observe_schedule(problem, result)
         return result
 

@@ -14,6 +14,7 @@ import math
 from typing import TYPE_CHECKING, Any
 
 from .....core.errors import InvalidRequestError
+from .....core.profile import RateProfile
 from .....core.request import Request
 from ....deps import RequestContext
 from ....http import HttpError, HttpRequest, HttpResponse
@@ -82,6 +83,25 @@ def parse_submission(body: Any, ctx: RequestContext) -> tuple[dict[str, Any], fl
     }
     if max_rate is not None:
         fields["max_rate"] = max_rate
+    profile = body.get("profile")
+    if profile is not None:
+        # A stepwise (malleable) rate shape: [[t0, t1, rate], ...] in
+        # absolute seconds, delivering exactly ``volume`` MB.  Malformed
+        # shapes and volume mismatches are the caller's 400, front-loaded
+        # here for the same wave-mate-protection reason as the Request
+        # probe above.
+        try:
+            wanted = RateProfile.maybe_from(profile)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid profile: {exc}") from exc
+        if wanted is None or not wanted:
+            raise HttpError(400, "profile must be a non-empty list of [t0, t1, rate]")
+        if not wanted.conserves(volume):
+            raise HttpError(
+                400,
+                f"profile delivers {wanted.volume} MB but the submission asks for {volume} MB",
+            )
+        fields["profile"] = wanted
     return fields, at
 
 
@@ -111,6 +131,10 @@ def decision_payload(ticket: Ticket, now: float) -> dict[str, Any]:
             "ingress": alloc.ingress,
             "egress": alloc.egress,
         }
+        if alloc.profile is not None:
+            # Key present only for stepwise grants: constant-rate
+            # decision payloads stay byte-identical.
+            payload["allocation"]["profile"] = alloc.profile.to_list()
     if reservation.reject_reason is not None:
         payload["reason"] = reservation.reject_reason.value
     return payload

@@ -84,6 +84,10 @@ class ServeConfig:
     ordering: str = "fifo"
     hold_ttl: float = 300.0
     backlog_limit: int = 0
+    #: Malleable transfers: shaped-profile fallback after constant-rate
+    #: rejects and reshape-before-displace recovery (off = decision-
+    #: identical to the constant-rate service).
+    malleable: bool = False
     #: Per-client *volume* limit enforced inside the gateway edge.
     edge: EdgeLimit | None = None
     #: Per-client *request-count* quota enforced at the HTTP edge.
@@ -139,6 +143,7 @@ class ServeApp:
                 edge=config.edge,
                 hold_ttl=config.hold_ttl,
                 backlog_limit=config.backlog_limit,
+                malleable=config.malleable,
                 journal=self.journal,
                 telemetry=self.telemetry,
                 slo=watchdog,

@@ -47,6 +47,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--ordering", default="fifo", choices=["fifo", "min-laxity", "max-value"])
     parser.add_argument("--backlog-limit", type=int, default=0)
     parser.add_argument(
+        "--malleable",
+        action="store_true",
+        help="enable stepwise-profile admission: shaped fallback and reshape recovery",
+    )
+    parser.add_argument(
         "--journal", type=Path, default=None, help="write-ahead journal path (restartable)"
     )
     parser.add_argument(
@@ -112,6 +117,7 @@ def build_app(args: argparse.Namespace) -> ServeApp:
         batch_size=args.batch_size,
         ordering=args.ordering,
         backlog_limit=args.backlog_limit,
+        malleable=args.malleable,
         edge=edge,
         quota=quota,
         keys=keys,

@@ -217,6 +217,24 @@ class TestGL004LedgerEncapsulation:
         )
         assert _active(report, "GL004") == []
 
+    def test_fires_on_foreign_profile_segment_write(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "def widen(profile, segs):\n    profile._segments = segs\n",
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL004")) == 1
+
+    def test_core_owns_profile_segments(self, tmp_path):
+        report = _scan(
+            tmp_path,
+            "class RateProfile:\n"
+            "    def __init__(self, segments):\n"
+            "        self._segments = tuple(segments)\n",
+            filename="core/profile.py",
+        )
+        assert _active(report, "GL004") == []
+
     def test_suppression(self, tmp_path):
         report = _scan(
             tmp_path,
@@ -426,6 +444,21 @@ class TestGL008ShardLedgerOwnership:
         )
         assert _active(report, "GL008") == []
 
+    def test_fires_on_foreign_segment_mutators(self, tmp_path):
+        # The malleable-transfer verbs mutate the owned ledger just as
+        # surely as the constant-rate ones: same single-writer rule.
+        report = _scan(
+            tmp_path,
+            """\
+            def f(broker, segs):
+                broker._owned_ledger.allocate_segments(0, 0, segs)
+                broker._owned_ledger.release_segments(0, 0, segs)
+                broker._owned_ledger.restore("ingress", 0, segs)
+            """,
+            filename="schedulers/hack.py",
+        )
+        assert len(_active(report, "GL008")) == 3
+
     def test_suppression(self, tmp_path):
         report = _scan(
             tmp_path,
@@ -488,6 +521,24 @@ class TestGL009TimelineInternals:
         """
         report = _scan(tmp_path, source, filename="core/capacity/breakpoint.py")
         assert _active(report, "GL009") == []
+
+    def test_fires_on_rate_profile_segment_access(self, tmp_path):
+        source = "def peek(profile):\n    return profile._segments[0]\n"
+        report = _scan(tmp_path / "a", source, filename="gateway/hack.py")
+        assert len(_active(report, "GL009")) == 1
+        # ...while repro.core as a whole owns the segment tuple — not just
+        # the capacity sub-package.
+        report = _scan(tmp_path / "b", source, filename="core/profile.py")
+        assert _active(report, "GL009") == []
+        report = _scan(tmp_path / "c", source, filename="core/booking.py")
+        assert _active(report, "GL009") == []
+
+    def test_capacity_arrays_stay_capacity_owned(self, tmp_path):
+        # The per-attribute ownership must not widen: core modules outside
+        # core/capacity/ still may not touch the backend arrays.
+        source = "def peek(timeline):\n    return timeline._values\n"
+        report = _scan(tmp_path, source, filename="core/ledger.py")
+        assert len(_active(report, "GL009")) == 1
 
     def test_allowlisted_under_tests_and_benchmarks(self, tmp_path):
         source = "def f(profile):\n    return profile._values\n"

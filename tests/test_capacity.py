@@ -287,3 +287,48 @@ class TestPortLedgerAcrossBackends:
                         outcome.append((k, False))
                 decisions[name] = outcome
         assert decisions["breakpoint"] == decisions["vector"]
+
+    def test_same_decisions_both_backends_multi_segment(self, platform):
+        """Stepwise (multi-segment) bookings decide identically too.
+
+        Fuzzed ``fits_segments`` / ``allocate_segments`` /
+        ``release_segments`` streams drawn from binary fractions, so
+        float arithmetic is exact and the traces compare with ``==``.
+        """
+        import random
+
+        def quarter(rng, lo, hi):
+            return round(rng.uniform(lo, hi) * 4.0) / 4.0
+
+        for seed in (0, 1, 2, 3):
+            decisions = {}
+            for name in BACKENDS:
+                rng = random.Random(seed)
+                with use_backend(name):
+                    ledger = PortLedger(platform)
+                live = []
+                outcome = []
+                for k in range(60):
+                    segments = []
+                    t = quarter(rng, 0.0, 20.0)
+                    for _ in range(rng.randint(1, 4)):
+                        t1 = t + quarter(rng, 0.5, 6.0)
+                        segments.append((t, t1, quarter(rng, 5.0, 45.0)))
+                        t = t1 + quarter(rng, 0.0, 3.0)
+                    i, e = rng.randrange(2), rng.randrange(2)
+                    if ledger.fits_segments(i, e, segments):
+                        ledger.allocate_segments(i, e, segments)
+                        live.append((i, e, segments))
+                        outcome.append((k, True))
+                    else:
+                        outcome.append((k, False))
+                    if live and rng.random() < 0.3:
+                        ledger.release_segments(*live.pop(rng.randrange(len(live))))
+                sample_ts = [t * 0.25 for t in range(0, 200, 3)]
+                usage = [
+                    (ledger.ingress_usage_at(p, t), ledger.egress_usage_at(p, t))
+                    for p in range(2)
+                    for t in sample_ts
+                ]
+                decisions[name] = (outcome, usage)
+            assert decisions["breakpoint"] == decisions["vector"]

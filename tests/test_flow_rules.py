@@ -216,6 +216,27 @@ class TestGL012TwoPhase:
         )
         assert _active(report, "GL012") == []
 
+    def test_quiet_inside_reshape_tail(self, tmp_path):
+        # The in-place reshape verb re-carves an existing reservation's
+        # tail under the same rid on purpose (the rid never becomes a
+        # broker idempotency key); the sanctioned exemption covers exactly
+        # the `_reshape_tail` method name.
+        body = (
+            "    release_from = max(now, reservation.allocation.sigma)\n"
+            "    return Request(rid=reservation.rid, t0=release_from)\n"
+        )
+        report = _scan(
+            tmp_path / "a",
+            f"def _reshape_tail(reservation, now):\n{body}",
+        )
+        assert _active(report, "GL012") == []
+        # Any other function reusing a rid still fires.
+        report = _scan(
+            tmp_path / "b",
+            f"def _rebook_tail(reservation, now):\n{body}",
+        )
+        assert len(_active(report, "GL012")) == 1
+
     def test_quiet_on_compensating_abort(self, tmp_path):
         report = _scan(
             tmp_path,
